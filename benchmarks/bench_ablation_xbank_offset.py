@@ -1,0 +1,20 @@
+"""Ablation bench: XBank offset sweep (Section 3.3's N/2 argument).
+
+The paper stores the counter of bank X in bank (X + N/2): the largest
+possible offset keeps an application's contiguous (adjacent-bank) pages
+from colliding with their own counter writes. The check: the paper's
+offset (4 of 8) performs at least as well as the worst small offset.
+"""
+
+from repro.experiments.ablations import xbank_offset_sweep
+
+
+def test_xbank_offset(run_once, benchmark):
+    rows = run_once(xbank_offset_sweep, "smoke")
+    latency = {r.label: r.avg_latency_ns for r in rows}
+    half_ring = latency["offset=4"]
+    worst = max(latency.values())
+    assert half_ring <= worst * 1.001
+    benchmark.extra_info["latency_by_offset"] = {
+        label: round(v) for label, v in latency.items()
+    }

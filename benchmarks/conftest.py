@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artifact (table or figure) at smoke
+scale inside the timed region, asserts the paper's shape on the produced
+rows, and attaches the headline numbers to ``benchmark.extra_info`` so the
+JSON output doubles as a results record.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the timed function exactly once (simulations are deterministic;
+    repetition would only multiply runtime)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Crash-consistency walkthrough: Figures 4 and 6, end to end.
+
+Demonstrates, with real encrypted bytes in a functional memory system:
+
+1. the hazard — persist the counter but not the data (or vice versa) and
+   the line is garbage after recovery (paper Figure 4);
+2. the broken write-through baseline — without the atomicity register a
+   crash between the counter append and the data append corrupts the line
+   (Figure 6);
+3. SuperMem — data and counter enter the ADR domain as one unit, so every
+   crash leaves every persisted line decryptable (Figure 7);
+4. transactional recovery — a crash mid-transaction rolls back to the old
+   value via the undo log (Table 1).
+
+Run::
+
+    python examples/crash_consistency.py
+"""
+
+import dataclasses
+
+from repro import (
+    CrashInjected,
+    DirectDomain,
+    LogRegion,
+    RecoveredSystem,
+    Scheme,
+    SecureMemorySystem,
+    TransactionManager,
+    scheme_config,
+)
+
+OLD = bytes([0xAA]) * 64
+NEW = bytes([0xBB]) * 64
+DATA_LINE = 4 * 64  # first line of page 4
+
+
+def fresh_supermem(**overrides):
+    cfg = dataclasses.replace(scheme_config(Scheme.SUPERMEM), **overrides)
+    return SecureMemorySystem(cfg)
+
+
+def show(label: str, got: bytes) -> None:
+    if got == OLD:
+        verdict = "OLD value (consistent)"
+    elif got == NEW:
+        verdict = "NEW value (consistent)"
+    else:
+        verdict = "GARBAGE (inconsistent!)"
+    print(f"  {label:<52} -> {verdict}")
+
+
+def demo_broken_write_through() -> None:
+    print("\n[1] Write-through WITHOUT the atomicity register (Figure 6)")
+    system = fresh_supermem(atomicity_register=False)
+    system.persist_line(0.0, DATA_LINE, payload=OLD)
+    system.drain()
+    # Crash in the window where the counter of the next write is already
+    # in the ADR domain but the data is still being encrypted.
+    system.crash_ctl.arm("wt-no-register-gap", occurrence=1)
+    try:
+        system.persist_line(100.0, DATA_LINE, payload=NEW)
+    except CrashInjected:
+        print("  power failed between the counter append and the data append")
+    recovered = RecoveredSystem(system.crash())
+    show("line after recovery", recovered.plaintext_of(DATA_LINE))
+
+
+def demo_supermem_register() -> None:
+    print("\n[2] SuperMem's atomicity register (Figure 7)")
+    system = fresh_supermem()
+    system.persist_line(0.0, DATA_LINE, payload=OLD)
+    # Crash immediately after the next write's atomic pair append.
+    system.crash_ctl.arm("after-pair-append", occurrence=1)
+    try:
+        system.persist_line(100.0, DATA_LINE, payload=NEW)
+    except CrashInjected:
+        print("  power failed right after the data+counter pair append")
+    recovered = RecoveredSystem(system.crash())
+    show("line after recovery", recovered.plaintext_of(DATA_LINE))
+
+
+def demo_transaction_rollback() -> None:
+    print("\n[3] Durable transaction + crash in the mutate stage (Table 1)")
+    system = fresh_supermem()
+    domain = DirectDomain(system)
+    manager = TransactionManager(
+        domain, LogRegion(0, 64 * 64), crash=system.crash_ctl
+    )
+    # Committed old state.
+    domain.store(DATA_LINE * 64, 64, OLD)
+    domain.clwb(DATA_LINE * 64, 64)
+    domain.sfence()
+    # Crash after the in-place mutate, before commit.
+    manager.crash_ctl.arm("txn-after-mutate")
+    try:
+        manager.run([(DATA_LINE * 64, 64, NEW)])
+    except CrashInjected:
+        print("  power failed after mutate, before commit")
+    recovered = RecoveredSystem(system.crash())
+
+    from repro import recover_data_view
+
+    report = recover_data_view(recovered, manager.log, [DATA_LINE])
+    print(f"  undo log scan: {len(report.undone)} uncommitted entry rolled back")
+    show("data after log recovery", report.view[DATA_LINE])
+
+
+def main() -> None:
+    print("SuperMem crash-consistency demonstration (functional encryption)")
+    demo_broken_write_through()
+    demo_supermem_register()
+    demo_transaction_rollback()
+    print(
+        "\nSummary: counter-mode encryption makes (data, counter) a unit —\n"
+        "SuperMem's write-through + staging register keeps that unit atomic\n"
+        "all the way into the ADR domain, with no battery and no new\n"
+        "programming primitives."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""A crash-safe key-value store on encrypted persistent memory.
+
+The scenario the paper's introduction motivates: an application keeps a
+key-value store directly in NVM, every update is a durable transaction,
+and the memory is encrypted — transparently, with no application changes.
+
+This example builds a small persistent hash-table KV store on the public
+API (``SecureMemorySystem`` + ``DirectDomain`` + ``TransactionManager``),
+fills it, kills the power mid-update, and shows that recovery yields a
+consistent store: every key holds either its pre-crash or post-crash
+value, never garbage.
+
+Run::
+
+    python examples/kv_store.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import (
+    CrashInjected,
+    DirectDomain,
+    LogRegion,
+    PersistentHeap,
+    RecoveredSystem,
+    Scheme,
+    SecureMemorySystem,
+    TransactionManager,
+    recover_data_view,
+    scheme_config,
+)
+
+VALUE_SIZE = 192  # three lines per value
+SLOT_SIZE = 64 + VALUE_SIZE  # one header line + value
+
+
+class DurableKVStore:
+    """A fixed-capacity open-addressing KV store with durable updates."""
+
+    def __init__(self, n_slots: int = 64, scheme: Scheme = Scheme.SUPERMEM):
+        self.system = SecureMemorySystem(scheme_config(scheme))
+        self.domain = DirectDomain(self.system)
+        heap = PersistentHeap(capacity=4 << 20)
+        log_base = heap.alloc_pages(8)
+        self.log = LogRegion(log_base, 8 * 4096)
+        self.manager = TransactionManager(
+            self.domain, self.log, crash=self.system.crash_ctl
+        )
+        self.n_slots = n_slots
+        self.base = heap.alloc(n_slots * SLOT_SIZE)
+        self._slot_of: Dict[str, int] = {}  # volatile directory
+
+    # -- layout helpers --------------------------------------------------
+
+    def _slot_addr(self, slot: int) -> int:
+        return self.base + slot * SLOT_SIZE
+
+    def _encode(self, key: str, value: bytes) -> bytes:
+        header = key.encode().ljust(64, b"\0")[:64]
+        body = value.ljust(VALUE_SIZE, b"\0")[:VALUE_SIZE]
+        return header + body
+
+    def _slot_for(self, key: str) -> int:
+        if key in self._slot_of:
+            return self._slot_of[key]
+        slot = hash(key) % self.n_slots
+        while slot in self._slot_of.values():
+            slot = (slot + 1) % self.n_slots
+        self._slot_of[key] = slot
+        return slot
+
+    # -- API ---------------------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> None:
+        """Durably update ``key`` in one transaction."""
+        slot = self._slot_for(key)
+        image = self._encode(key, value)
+        self.manager.run([(self._slot_addr(slot), SLOT_SIZE, image)])
+
+    def get(self, key: str) -> Optional[bytes]:
+        slot = self._slot_of.get(key)
+        if slot is None:
+            return None
+        raw = self.domain.load(self._slot_addr(slot), SLOT_SIZE)
+        return raw[64:].rstrip(b"\0")
+
+    # -- crash / recovery -----------------------------------------------
+
+    def crash(self):
+        """Power failure; returns the durable image."""
+        return self.system.crash()
+
+    def recover_value(self, image, key: str) -> Optional[bytes]:
+        """Read ``key`` out of a recovered image (log replay included)."""
+        slot = self._slot_of.get(key)
+        if slot is None:
+            return None
+        recovered = RecoveredSystem(image)
+        addr = self._slot_addr(slot)
+        lines = list(range(addr // 64, (addr + SLOT_SIZE) // 64))
+        report = recover_data_view(recovered, self.log, lines)
+        raw = b"".join(report.view[line] for line in lines)
+        if raw[:64].rstrip(b"\0") != key.encode():
+            return None
+        return raw[64 : 64 + VALUE_SIZE].rstrip(b"\0")
+
+
+def main() -> None:
+    print("Durable KV store on SuperMem (encrypted, crash-safe)\n")
+    store = DurableKVStore()
+
+    print("populating 8 keys...")
+    for i in range(8):
+        store.put(f"user:{i}", f"balance={100 * i}".encode())
+    assert store.get("user:3") == b"balance=300"
+    print("  user:3 ->", store.get("user:3").decode())
+
+    print("\nupdating user:3 and crashing mid-transaction (mutate stage)...")
+    store.system.crash_ctl.arm("txn-after-mutate")
+    try:
+        store.put("user:3", b"balance=999999")
+    except CrashInjected:
+        print("  power failure injected!")
+    image = store.crash()
+
+    recovered_value = store.recover_value(image, "user:3")
+    print(f"  after recovery, user:3 -> {recovered_value.decode()}")
+    assert recovered_value == b"balance=300", "undo recovery must restore the old value"
+    other = store.recover_value(image, "user:5")
+    print(f"  untouched key user:5   -> {other.decode()}")
+    assert other == b"balance=500"
+    print(
+        "\nThe interrupted update rolled back cleanly: no torn value, no\n"
+        "undecryptable line — the application never dealt with counters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Stolen-DIMM and bus-attack walkthrough: what encryption (and the
+orthogonal integrity layer) buys.
+
+Plays the paper's threat model (Section 2.2) against the functional
+system:
+
+1. **stolen DIMM** — an attacker streams raw bytes off the NVM: with
+   counter-mode encryption they see ciphertext only, and identical
+   plaintexts at different addresses/versions look unrelated (the
+   dictionary attacks of Figure 1 fail);
+2. **bus snooping** — consecutive writes of the same value to the same
+   line produce different ciphertexts (per-write counters);
+3. **bus tampering** — excluded from SuperMem's threat model but handled
+   by the orthogonal MAC + Bonsai-Merkle-tree layer this repo also ships:
+   flipping a ciphertext bit, replaying a stale version, and forging a
+   counter block are all detected.
+
+Run::
+
+    python examples/tamper_detection.py
+"""
+
+from repro import Scheme, SecureMemorySystem, SecurityError, scheme_config
+from repro.crypto.integrity import IntegrityEngine
+
+SECRET = b"ATTACK AT DAWN".ljust(64, b".")
+
+
+def demo_stolen_dimm() -> None:
+    print("[1] Stolen DIMM: raw NVM contents are ciphertext")
+    system = SecureMemorySystem(scheme_config(Scheme.SUPERMEM))
+    system.persist_line(0.0, 0, payload=SECRET)
+    system.persist_line(1.0, 1, payload=SECRET)  # same secret, other line
+    system.drain()
+    stolen_0 = system.controller.nvm.read_line(0)
+    stolen_1 = system.controller.nvm.read_line(1)
+    print(f"  plaintext       : {SECRET[:24]!r}...")
+    print(f"  stolen line 0   : {stolen_0[:24].hex()}...")
+    print(f"  stolen line 1   : {stolen_1[:24].hex()}...")
+    assert SECRET not in stolen_0
+    assert stolen_0 != stolen_1, "identical content must not be linkable"
+    print("  identical secrets at two addresses look unrelated\n")
+
+
+def demo_bus_snooping() -> None:
+    print("[2] Bus snooping: rewrites of the same value differ on the wire")
+    system = SecureMemorySystem(scheme_config(Scheme.SUPERMEM))
+    system.persist_line(0.0, 0, payload=SECRET)
+    system.drain()
+    first = system.controller.nvm.read_line(0)
+    system.persist_line(10.0, 0, payload=SECRET)
+    system.drain()
+    second = system.controller.nvm.read_line(0)
+    assert first != second
+    print("  write #1 and write #2 of the same secret: distinct ciphertexts\n")
+
+
+def demo_tampering() -> None:
+    print("[3] Bus tampering: the orthogonal integrity layer detects it")
+    engine = IntegrityEngine(n_counter_blocks=64)
+    ciphertext_v1 = bytes(range(64))
+    ciphertext_v2 = bytes(reversed(range(64)))
+    engine.on_write(0, counter=1, ciphertext=ciphertext_v1, block_key=0,
+                    block_image=b"counters-v1")
+    engine.on_write(0, counter=2, ciphertext=ciphertext_v2, block_key=0,
+                    block_image=b"counters-v2")
+
+    for label, attack in [
+        ("bit-flip", lambda: engine.verify_read(0, 2, bytes([1]) + ciphertext_v2[1:])),
+        ("replay of stale version", lambda: engine.verify_read(0, 1, ciphertext_v1)),
+        ("forged counter block", lambda: engine.verify_counter_block(0, b"forged")),
+    ]:
+        try:
+            attack()
+            print(f"  {label}: NOT detected (bug!)")
+        except SecurityError as exc:
+            print(f"  {label}: detected ({exc})")
+    engine.verify_read(0, 2, ciphertext_v2)
+    engine.verify_counter_block(0, b"counters-v2")
+    print("  honest reads still verify\n")
+
+
+def main() -> None:
+    print("SuperMem threat-model demonstration\n")
+    demo_stolen_dimm()
+    demo_bus_snooping()
+    demo_tampering()
+    print(
+        "Counter-mode encryption defeats the paper's two in-scope attacks\n"
+        "(stolen DIMM, bus snooping); the MAC/Merkle layer covers the\n"
+        "out-of-scope tampering attacks the paper cites as orthogonal."
+    )
+
+
+if __name__ == "__main__":
+    main()

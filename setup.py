@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so ``pip install -e .`` cannot use the PEP-517 editable path. This shim lets
+``pip install -e . --no-build-isolation`` (or ``python setup.py develop``)
+fall back to the classic setuptools editable install. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

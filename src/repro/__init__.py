@@ -1,0 +1,104 @@
+"""SuperMem reproduction: application-transparent secure persistent memory.
+
+A full-system Python reproduction of *SuperMem: Enabling
+Application-transparent Secure Persistent Memory with Low Overheads*
+(MICRO 2019): counter-mode-encrypted NVM with a write-through counter
+cache made crash-consistent by an atomicity register, counter write
+coalescing (CWC) in the memory-controller write queue, and cross-bank
+counter storage (XBank).
+
+Quick start::
+
+    from repro import Scheme, simulate_workload
+
+    result = simulate_workload("btree", Scheme.SUPERMEM, n_ops=100)
+    print(result.summary())
+
+Functional (crash-consistency) use::
+
+    from repro import (
+        DirectDomain, LogRegion, RecoveredSystem, Scheme,
+        SecureMemorySystem, TransactionManager, scheme_config,
+    )
+
+    system = SecureMemorySystem(scheme_config(Scheme.SUPERMEM))
+    domain = DirectDomain(system)
+    mgr = TransactionManager(domain, LogRegion(0, 64 * 64))
+    mgr.run([(4096, 64, b"x" * 64)])
+    image = system.crash()           # power failure
+    RecoveredSystem(image).plaintext_of(64)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    CounterCacheConfig,
+    CounterCacheMode,
+    CounterPlacementPolicy,
+    MemoryConfig,
+    SimConfig,
+    TimingConfig,
+)
+from repro.common.errors import (
+    ConfigError,
+    CrashInjected,
+    ReproError,
+    SecurityError,
+    SimulationError,
+)
+from repro.common.stats import Stats
+from repro.core.crash import CrashController, DurableImage
+from repro.core.recovery import RecoveredSystem
+from repro.core.schemes import EVALUATED_SCHEMES, Scheme, scheme_config
+from repro.core.system import SecureMemorySystem
+from repro.crypto.otp import LineCipher
+from repro.sim.metrics import SimResult
+from repro.sim.multicore import MulticoreSimulator, simulate_multiprogrammed
+from repro.sim.simulator import Simulator, simulate_workload
+from repro.txn.log import LogRegion
+from repro.txn.persist import DirectDomain, TraceDomain
+from repro.txn.transaction import TransactionManager, recover_data_view
+from repro.workloads.generator import build_workload, generate_trace
+from repro.workloads.heap import PersistentHeap
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CounterCacheConfig",
+    "CounterCacheMode",
+    "CounterPlacementPolicy",
+    "MemoryConfig",
+    "SimConfig",
+    "TimingConfig",
+    "ConfigError",
+    "CrashInjected",
+    "ReproError",
+    "SecurityError",
+    "SimulationError",
+    "Stats",
+    "CrashController",
+    "DurableImage",
+    "RecoveredSystem",
+    "EVALUATED_SCHEMES",
+    "Scheme",
+    "scheme_config",
+    "SecureMemorySystem",
+    "LineCipher",
+    "SimResult",
+    "MulticoreSimulator",
+    "simulate_multiprogrammed",
+    "Simulator",
+    "simulate_workload",
+    "LogRegion",
+    "DirectDomain",
+    "TraceDomain",
+    "TransactionManager",
+    "recover_data_view",
+    "build_workload",
+    "generate_trace",
+    "PersistentHeap",
+    "__version__",
+]

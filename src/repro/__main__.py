@@ -1,0 +1,236 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro list
+
+Regenerate one figure at the default scale::
+
+    python -m repro run fig13
+
+Regenerate everything the paper reports (markdown to stdout)::
+
+    python -m repro run all --scale full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _run_experiment(name: str, scale: str, json_path: str | None = None) -> str:
+    """Run one experiment by name; returns rendered markdown.
+
+    When ``json_path`` is given, the raw points are also exported there
+    (experiments that produce point lists only).
+    """
+    from repro.experiments import (
+        ablations,
+        fig13,
+        fig14,
+        fig15,
+        fig16,
+        fig17,
+        related_work,
+        table1,
+    )
+    from repro.experiments.export import export_json
+
+    points = None
+    if name == "table1":
+        points = table1.run()
+        rendered = table1.render(points)
+    elif name == "related":
+        rendered = related_work.render(
+            related_work.run_runtime(scale), related_work.run_recovery()
+        )
+    elif name == "fig13":
+        points = fig13.run(scale)
+        rendered = fig13.render(points)
+    elif name == "fig14":
+        points = fig14.run(scale)
+        rendered = fig14.render(points)
+    elif name == "fig15":
+        points = fig15.run(scale)
+        rendered = fig15.render(points)
+    elif name == "fig16":
+        points = fig16.run(scale)
+        rendered = fig16.render(points)
+    elif name == "fig17":
+        points = fig17.run(scale)
+        rendered = fig17.render(points)
+    elif name == "ablations":
+        rendered = ablations.render_all(scale)
+    else:
+        raise SystemExit(f"unknown experiment {name!r}; see `python -m repro list`")
+    if json_path and points is not None:
+        export_json(points, json_path, experiment=name)
+    return rendered
+
+
+EXPERIMENTS = (
+    "table1",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "ablations",
+    "related",
+)
+
+_DESCRIPTIONS = {
+    "table1": "Crash recoverability per transaction stage (crash injection)",
+    "fig13": "Single-core txn latency: 5 workloads x 6 schemes x 3 sizes",
+    "fig14": "Multi-programmed txn latency: 1/4/8 programs",
+    "fig15": "NVM write requests normalised to Unsec",
+    "fig16": "Write-queue length sensitivity (8..128 entries)",
+    "fig17": "Counter-cache size sensitivity (1KB..4MB)",
+    "ablations": "Design-choice ablations (CWC policy, XBank offset, ...)",
+    "related": "Section 6 related work: SCA / Osiris runtime + recovery cost",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SuperMem (MICRO 2019) reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which paper artifact to regenerate",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=("smoke", "default", "full"),
+        default="default",
+        help="run size preset (default: default)",
+    )
+    run_parser.add_argument(
+        "--output",
+        default=None,
+        help="write markdown to this file instead of stdout",
+    )
+    run_parser.add_argument(
+        "--json",
+        default=None,
+        help="also export the raw experiment points as JSON (single experiment only)",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="generate a workload trace file (or summarise one)"
+    )
+    trace_parser.add_argument("workload", help="workload name, or a .smtr path with --summary")
+    trace_parser.add_argument("--ops", type=int, default=200, help="transactions to record")
+    trace_parser.add_argument("--request-size", type=int, default=1024)
+    trace_parser.add_argument("--footprint", type=int, default=4 << 20)
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--output", default=None, help="trace file to write")
+    trace_parser.add_argument(
+        "--summary", action="store_true", help="summarise an existing trace file"
+    )
+
+    sim_parser = sub.add_parser("simulate", help="simulate one workload/scheme point")
+    sim_parser.add_argument("workload")
+    sim_parser.add_argument(
+        "--scheme", default="supermem", help="unsec/wb/wt/wt+cwc/wt+xbank/supermem/sca/osiris"
+    )
+    sim_parser.add_argument("--ops", type=int, default=200)
+    sim_parser.add_argument("--request-size", type=int, default=1024)
+    sim_parser.add_argument("--footprint", type=int, default=4 << 20)
+    sim_parser.add_argument("--seed", type=int, default=1)
+    sim_parser.add_argument(
+        "--profile", action="store_true", help="print the bank/WQ profile"
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(f"{name:10s} {_DESCRIPTIONS[name]}")
+        return 0
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    json_path = args.json if len(names) == 1 else None
+    sections = []
+    for name in names:
+        started = time.time()
+        print(f"[repro] running {name} (scale={args.scale})...", file=sys.stderr)
+        sections.append(_run_experiment(name, args.scale, json_path=json_path))
+        print(f"[repro] {name} done in {time.time() - started:.1f}s", file=sys.stderr)
+    output = "\n".join(sections)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(output)
+        print(f"[repro] wrote {args.output}", file=sys.stderr)
+    else:
+        print(output)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.sim.tracefile import load_trace, save_trace, trace_summary
+    from repro.workloads.generator import generate_trace
+
+    if args.summary:
+        ops = load_trace(args.workload)
+        for key, value in trace_summary(ops).items():
+            print(f"{key}: {value}")
+        return 0
+    trace = generate_trace(
+        args.workload,
+        n_ops=args.ops,
+        request_size=args.request_size,
+        footprint=args.footprint,
+        seed=args.seed,
+    )
+    output = args.output or f"{args.workload}.smtr"
+    size = save_trace(output, trace.ops)
+    print(f"wrote {output}: {len(trace.ops)} ops, {size} bytes")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core.schemes import Scheme
+    from repro.sim.profiling import profile_run
+    from repro.sim.simulator import simulate_workload
+
+    try:
+        scheme = Scheme(args.scheme)
+    except ValueError:
+        raise SystemExit(
+            f"unknown scheme {args.scheme!r}; expected one of "
+            f"{[s.value for s in Scheme]}"
+        )
+    result = simulate_workload(
+        args.workload,
+        scheme,
+        n_ops=args.ops,
+        request_size=args.request_size,
+        footprint=args.footprint,
+        seed=args.seed,
+    )
+    print(f"{args.workload} under {scheme.label}: {result.summary()}")
+    print(f"total time: {result.total_time_ns:.0f} ns")
+    if args.profile:
+        print(profile_run(result).format())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""SRAM cache models: CPU hierarchy and the on-controller counter cache.
+
+These are *timing and presence* models — tag stores with LRU replacement and
+dirty bits. Data payloads are not held here: the functional byte store lives
+in :mod:`repro.memory.nvm`, and persist operations carry their payloads from
+the transaction layer to the memory controller directly. That split keeps
+the hot simulation path allocation-free while remaining faithful to what the
+paper measures (hit rates, write-back traffic, flush behaviour).
+"""
+
+from repro.cache.counter_cache import CounterCache
+from repro.cache.hierarchy import CacheHierarchy, ReadOutcome
+from repro.cache.sram import EvictedLine, SetAssociativeCache
+
+__all__ = [
+    "CounterCache",
+    "CacheHierarchy",
+    "ReadOutcome",
+    "EvictedLine",
+    "SetAssociativeCache",
+]

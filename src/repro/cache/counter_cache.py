@@ -1,0 +1,146 @@
+"""The memory controller's on-chip counter cache.
+
+One cached entry corresponds to one *counter line* — the 64 B line holding
+the split counters of one 4 KB data page — so the cache is keyed by **page
+index**. A 256 KB, 8-way cache holds 4096 counter lines, covering 16 MB of
+data.
+
+Two write policies (paper Sections 2.4 and 3.2):
+
+* **write-through** (SuperMem): every counter update is immediately pushed
+  to NVM through the write queue. Entries are never dirty, so a crash can
+  never lose counter state that matters — whatever is in NVM (plus the
+  ADR-protected write queue) is current.
+* **write-back** (the WB baseline): updates stay in SRAM; NVM is written
+  only on dirty eviction. Without a battery, a crash silently discards
+  dirty counters and leaves NVM counters stale — this is the
+  inconsistency of paper Figure 4b. The *ideal* WB baseline assumes a
+  battery big enough to flush everything (``battery_backed=True``).
+
+The cache tracks presence/dirtiness and hit statistics; counter *values*
+live in :class:`repro.core.system.CounterStore`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import CounterCacheConfig, CounterCacheMode
+from repro.common.stats import Stats
+from repro.cache.sram import SetAssociativeCache
+
+
+class CounterCache:
+    """Presence/dirty model of the counter cache.
+
+    Parameters
+    ----------
+    config:
+        Geometry plus :class:`CounterCacheMode` and battery flag.
+    stats:
+        Shared statistics registry; reports under namespace ``"cc"``.
+    """
+
+    def __init__(self, config: CounterCacheConfig, stats: Stats):
+        self.config = config
+        self._stats = stats
+        self._cache = SetAssociativeCache(config, stats, "cc")
+
+    @property
+    def mode(self) -> CounterCacheMode:
+        return self.config.mode
+
+    @property
+    def write_through(self) -> bool:
+        return self.config.mode is CounterCacheMode.WRITE_THROUGH
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+
+    def access(self, page: int, update: bool) -> tuple[bool, Optional[int], bool]:
+        """Touch the counter line of ``page``.
+
+        Parameters
+        ----------
+        page:
+            Data page whose counter line is needed.
+        update:
+            True when the access modifies the counters (a data write bumps
+            a minor counter); False for read-path OTP generation.
+
+        Returns
+        -------
+        (hit, writeback_page, fetch_needed)
+            ``hit``
+                Whether the counter line was already cached (determines the
+                read path's OTP latency overlap).
+            ``writeback_page``
+                In write-back mode, a dirty victim page whose counter line
+                must now be written to NVM; ``None`` otherwise.
+            ``fetch_needed``
+                Whether the counter line must first be fetched from NVM
+                (always true on a miss — counters cannot be used partially).
+        """
+        dirty = update and not self.write_through
+        hit, evicted = self._cache.access(page, write=dirty)
+        if update:
+            self._stats.inc("cc", "updates")
+
+        writeback_page = None
+        if evicted is not None and evicted.dirty:
+            writeback_page = evicted.line
+            self._stats.inc("cc", "writebacks")
+        return hit, writeback_page, not hit
+
+    def is_dirty(self, page: int) -> bool:
+        """Whether the cached counter line of ``page`` is dirty (WB only)."""
+        return self._cache.is_dirty(page)
+
+    def mark_clean(self, page: int) -> bool:
+        """Clear the dirty bit after the counter line was persisted
+        through some other path (SCA's counter-atomic pair, Osiris's
+        stop-loss write). Returns whether it was dirty."""
+        return self._cache.clean(page)
+
+    def contains(self, page: int) -> bool:
+        return self._cache.contains(page)
+
+    # ------------------------------------------------------------------
+    # Crash behaviour
+    # ------------------------------------------------------------------
+
+    def crash(self) -> tuple[List[int], List[int]]:
+        """Power failure: drop all SRAM state.
+
+        Returns
+        -------
+        (flushed, lost)
+            ``flushed`` — dirty pages saved by the battery (ideal WB);
+            ``lost`` — dirty pages whose NVM counter copies are now stale
+            (the unrecoverable case the paper motivates with).
+            Write-through caches return two empty lists: nothing dirty can
+            exist.
+        """
+        dirty = self._cache.flush_all()
+        if self.config.battery_backed:
+            return dirty, []
+        return [], dirty
+
+    def drain_dirty(self) -> List[int]:
+        """Cleanly write back every dirty line (orderly shutdown)."""
+        dirty = list(self._cache.dirty_lines())
+        for page in dirty:
+            self._cache.clean(page)
+        return dirty
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        return self._stats.ratio("cc", "hits", "accesses")
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,190 @@
+"""Three-level CPU cache hierarchy with persistence instructions.
+
+Models the paper's L1 (32 KB) / L2 (512 KB) / shared L3 (4 MB) stack as a
+mostly-inclusive write-back, write-allocate hierarchy:
+
+* a fill at level *N* also fills levels above it;
+* a dirty victim evicted from L1/L2 is installed dirty in the next level;
+* a dirty victim evicted from L3 becomes an NVM write-back (which, in an
+  encrypted NVM, triggers the whole counter machinery like any other
+  write — evictions are not exempt from encryption);
+* ``clwb`` writes the newest dirty copy back toward memory and *cleans*
+  the cached copies without invalidating them (matching the instruction the
+  paper uses for persistence);
+* ``clflush`` additionally invalidates.
+
+For the multi-core experiments, each core owns a private
+:class:`CacheHierarchy` for L1/L2 while L3 is shared — see
+:mod:`repro.sim.multicore`, which passes a shared L3 instance in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.config import CacheConfig, TimingConfig
+from repro.common.stats import Stats
+from repro.cache.sram import SetAssociativeCache
+
+
+@dataclass
+class ReadOutcome:
+    """Result of driving one load or store through the hierarchy.
+
+    Attributes
+    ----------
+    hit_level:
+        1, 2 or 3 for an SRAM hit; ``None`` when the request must go to
+        memory.
+    latency_ns:
+        Total SRAM lookup latency on the way to the hit (or to the miss
+        determination). Memory latency is added by the caller because it
+        depends on the memory controller's state.
+    memory_writebacks:
+        Line indices whose dirty copies were evicted from the last level
+        and must now be written to NVM.
+    """
+
+    hit_level: Optional[int]
+    latency_ns: float
+    memory_writebacks: List[int] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """L1/L2/L3 stack for one core.
+
+    Parameters
+    ----------
+    l1, l2, l3:
+        Geometry of each level.
+    timing:
+        Converts per-level cycle latencies to nanoseconds.
+    stats:
+        Shared statistics registry (namespaces ``l1``/``l2``/``l3``).
+    shared_l3:
+        Optional pre-built L3 shared among cores; when given, ``l3`` config
+        is ignored.
+    name_prefix:
+        Prepended to stat namespaces so per-core caches stay separable
+        (e.g. ``"core0."``).
+    """
+
+    def __init__(
+        self,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        l3: CacheConfig,
+        timing: TimingConfig,
+        stats: Stats,
+        shared_l3: Optional[SetAssociativeCache] = None,
+        name_prefix: str = "",
+    ):
+        self._timing = timing
+        self._stats = stats
+        self.l1 = SetAssociativeCache(l1, stats, f"{name_prefix}l1")
+        self.l2 = SetAssociativeCache(l2, stats, f"{name_prefix}l2")
+        # An explicit None check: SetAssociativeCache defines __len__, so an
+        # empty shared L3 would be falsy under ``shared_l3 or ...``.
+        self.l3 = (
+            shared_l3
+            if shared_l3 is not None
+            else SetAssociativeCache(l3, stats, "l3")
+        )
+        self._levels = [self.l1, self.l2, self.l3]
+        self._latencies_ns = [
+            timing.cycles_to_ns(l1.latency_cycles),
+            timing.cycles_to_ns(l2.latency_cycles),
+            timing.cycles_to_ns(shared_l3.config.latency_cycles if shared_l3 else l3.latency_cycles),
+        ]
+
+    # ------------------------------------------------------------------
+    # Loads and stores
+    # ------------------------------------------------------------------
+
+    def read(self, line: int) -> ReadOutcome:
+        """Drive a load; fill upper levels on lower-level hits."""
+        return self._access(line, write=False)
+
+    def write(self, line: int) -> ReadOutcome:
+        """Drive a store (write-allocate; line becomes dirty in L1)."""
+        return self._access(line, write=True)
+
+    def _access(self, line: int, write: bool) -> ReadOutcome:
+        latency = 0.0
+        writebacks: List[int] = []
+        for depth, cache in enumerate(self._levels):
+            latency += self._latencies_ns[depth]
+            hit, evicted = cache.access(line, write=(write and depth == 0))
+            if evicted is not None:
+                self._handle_eviction(depth, evicted, writebacks)
+            if hit:
+                self._fill_above(line, depth, write, writebacks)
+                return ReadOutcome(
+                    hit_level=depth + 1,
+                    latency_ns=latency,
+                    memory_writebacks=writebacks,
+                )
+        # Missed everywhere: the access() calls above already filled each
+        # level (miss-fill), so only the outcome remains to be reported.
+        return ReadOutcome(hit_level=None, latency_ns=latency, memory_writebacks=writebacks)
+
+    def _fill_above(
+        self, line: int, hit_depth: int, write: bool, writebacks: List[int]
+    ) -> None:
+        """After a hit at ``hit_depth``, install the line in closer levels."""
+        for depth in range(hit_depth - 1, -1, -1):
+            evicted = self._levels[depth].fill(line, dirty=(write and depth == 0))
+            if evicted is not None:
+                self._handle_eviction(depth, evicted, writebacks)
+
+    def _handle_eviction(self, depth: int, evicted, writebacks: List[int]) -> None:
+        """Push a dirty victim down one level (or out to memory from L3)."""
+        if not evicted.dirty:
+            return
+        if depth + 1 < len(self._levels):
+            inner = self._levels[depth + 1].fill(evicted.line, dirty=True)
+            if inner is not None:
+                self._handle_eviction(depth + 1, inner, writebacks)
+        else:
+            writebacks.append(evicted.line)
+            self._stats.inc("hierarchy", "memory_writebacks")
+
+    # ------------------------------------------------------------------
+    # Persistence instructions
+    # ------------------------------------------------------------------
+
+    def clwb(self, line: int) -> bool:
+        """Write the line back toward memory, keeping it cached clean.
+
+        Returns whether any level held a dirty copy — i.e. whether the
+        memory controller must receive a write. (Flushing a clean or absent
+        line is a no-op at the memory, exactly like hardware clwb.)
+        """
+        was_dirty = False
+        for cache in self._levels:
+            was_dirty |= cache.clean(line)
+        self._stats.inc("hierarchy", "clwb")
+        if was_dirty:
+            self._stats.inc("hierarchy", "clwb_dirty")
+        return was_dirty
+
+    def clflush(self, line: int) -> bool:
+        """Invalidate the line everywhere; returns whether it was dirty."""
+        was_dirty = False
+        for cache in self._levels:
+            was_dirty |= cache.invalidate(line)
+        self._stats.inc("hierarchy", "clflush")
+        return was_dirty
+
+    def lose_all_volatile_state(self) -> List[int]:
+        """Power failure: drop every level; return dirty lines that died."""
+        lost: List[int] = []
+        for cache in self._levels:
+            lost.extend(cache.flush_all())
+        return sorted(set(lost))
+
+    @property
+    def total_sram_latency_ns(self) -> float:
+        """Latency of missing all the way through (L1+L2+L3 lookups)."""
+        return sum(self._latencies_ns)

@@ -1,0 +1,44 @@
+"""Shared infrastructure: addressing, configuration, statistics, errors.
+
+This package holds everything that is not specific to one subsystem of the
+SuperMem reproduction: the physical address arithmetic used by caches and the
+memory controller, the dataclass-based configuration mirroring the paper's
+Table 2, the statistics registry every component reports into, and the
+exception hierarchy.
+"""
+
+from repro.common.address import AddressMap, CACHE_LINE_SIZE, PAGE_SIZE
+from repro.common.config import (
+    CacheConfig,
+    CounterCacheMode,
+    CounterPlacementPolicy,
+    MemoryConfig,
+    SimConfig,
+    TimingConfig,
+)
+from repro.common.errors import (
+    ConfigError,
+    CrashInjected,
+    ReproError,
+    SecurityError,
+    SimulationError,
+)
+from repro.common.stats import Stats
+
+__all__ = [
+    "AddressMap",
+    "CACHE_LINE_SIZE",
+    "PAGE_SIZE",
+    "CacheConfig",
+    "CounterCacheMode",
+    "CounterPlacementPolicy",
+    "MemoryConfig",
+    "SimConfig",
+    "TimingConfig",
+    "ConfigError",
+    "CrashInjected",
+    "ReproError",
+    "SecurityError",
+    "SimulationError",
+    "Stats",
+]

@@ -1,0 +1,95 @@
+"""Hierarchical statistics registry.
+
+Every component of the simulated system (caches, write queue, banks, the
+encryption engine, transaction layer) records counters and accumulators into
+one shared :class:`Stats` object, namespaced by component. Experiments read
+the totals out at the end of a run; nothing in the timing model depends on
+the statistics, so recording can never perturb results.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class Stats:
+    """A flat ``(namespace, counter) -> value`` store with helpers.
+
+    Counter values are numeric (int or float). Namespaces are free-form
+    strings such as ``"wq"`` or ``"bank.3"``.
+
+    Examples
+    --------
+    >>> s = Stats()
+    >>> s.inc("wq", "appends")
+    >>> s.inc("wq", "appends", 2)
+    >>> s.get("wq", "appends")
+    3
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[Tuple[str, str], float] = defaultdict(float)
+
+    def inc(self, namespace: str, counter: str, amount: float = 1) -> None:
+        """Add ``amount`` to a counter (creating it at zero)."""
+        self._values[(namespace, counter)] += amount
+
+    def set(self, namespace: str, counter: str, value: float) -> None:
+        """Overwrite a counter with ``value``."""
+        self._values[(namespace, counter)] = value
+
+    def maximize(self, namespace: str, counter: str, value: float) -> None:
+        """Keep the running maximum of ``value`` in the counter."""
+        key = (namespace, counter)
+        if key not in self._values or value > self._values[key]:
+            self._values[key] = value
+
+    def get(self, namespace: str, counter: str, default: float = 0) -> float:
+        """Read a counter, returning ``default`` when absent."""
+        value = self._values.get((namespace, counter), default)
+        return int(value) if float(value).is_integer() else value
+
+    def namespace(self, namespace: str) -> Dict[str, float]:
+        """All counters of one namespace as a plain dict."""
+        return {
+            counter: value
+            for (space, counter), value in self._values.items()
+            if space == namespace
+        }
+
+    def ratio(self, namespace: str, num: str, den: str) -> float:
+        """``num / den`` within a namespace, 0.0 when the denominator is 0."""
+        d = self._values.get((namespace, den), 0)
+        if not d:
+            return 0.0
+        return self._values.get((namespace, num), 0) / d
+
+    def merge(self, other: "Stats") -> None:
+        """Add every counter of ``other`` into this object."""
+        for key, value in other._values.items():
+            self._values[key] += value
+
+    def reset(self) -> None:
+        """Drop all counters."""
+        self._values.clear()
+
+    def snapshot(self) -> Mapping[Tuple[str, str], float]:
+        """An immutable copy of the raw store (for assertions in tests)."""
+        return dict(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[str, str, float]]:
+        for (space, counter), value in sorted(self._values.items()):
+            yield space, counter, value
+
+    def format(self, prefix: str = "") -> str:
+        """Human-readable dump, optionally filtered by namespace prefix."""
+        lines = []
+        for space, counter, value in self:
+            if not space.startswith(prefix):
+                continue
+            if float(value).is_integer():
+                lines.append(f"{space}.{counter} = {int(value)}")
+            else:
+                lines.append(f"{space}.{counter} = {value:.4f}")
+        return "\n".join(lines)

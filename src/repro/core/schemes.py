@@ -1,0 +1,153 @@
+"""The evaluated system configurations.
+
+The paper's evaluation (Section 4) compares six systems; each is a small
+transformation of the common :class:`~repro.common.config.SimConfig`:
+
+=============  ==========  ============  =====  ==============
+Scheme         Encrypted   Counter $     CWC    Ctr placement
+=============  ==========  ============  =====  ==============
+``UNSEC``      no          —             —      —
+``WB_IDEAL``   yes         write-back,   no     SingleBank
+               battery
+``WT_BASE``    yes         write-through no     SingleBank
+``WT_CWC``     yes         write-through yes    SingleBank
+``WT_XBANK``   yes         write-through no     XBank
+``SUPERMEM``   yes         write-through yes    XBank
+=============  ==========  ============  =====  ==============
+
+``WB_IDEAL`` is the paper's upper bound: a battery large enough to flush
+the whole counter cache, hence zero counter-atomicity overhead.
+``WT_BASE`` stores counters the way prior write-back designs did
+(a dedicated counter bank), which is what makes it the bottlenecked
+baseline of Figure 13.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.common.config import (
+    CounterCacheMode,
+    CounterPlacementPolicy,
+    SimConfig,
+)
+
+
+class Scheme(enum.Enum):
+    """The six systems of the paper's evaluation, plus the two related-work
+    designs of Section 6 (SCA and Osiris) for extended comparisons."""
+
+    UNSEC = "unsec"
+    WB_IDEAL = "wb"
+    WT_BASE = "wt"
+    WT_CWC = "wt+cwc"
+    WT_XBANK = "wt+xbank"
+    SUPERMEM = "supermem"
+    #: Liu et al.'s selective counter-atomicity (Section 6 competitor).
+    SCA = "sca"
+    #: Ye et al.'s Osiris: relaxed counter persistence + ECC recovery.
+    OSIRIS = "osiris"
+
+    @property
+    def label(self) -> str:
+        """Display label matching the paper's figures."""
+        return {
+            Scheme.UNSEC: "Unsec",
+            Scheme.WB_IDEAL: "WB",
+            Scheme.WT_BASE: "WT",
+            Scheme.WT_CWC: "WT+CWC",
+            Scheme.WT_XBANK: "WT+XBank",
+            Scheme.SUPERMEM: "SuperMem",
+            Scheme.SCA: "SCA",
+            Scheme.OSIRIS: "Osiris",
+        }[self]
+
+
+#: The schemes plotted in Figures 13-15, in the paper's legend order.
+EVALUATED_SCHEMES = (
+    Scheme.UNSEC,
+    Scheme.WB_IDEAL,
+    Scheme.WT_BASE,
+    Scheme.WT_CWC,
+    Scheme.WT_XBANK,
+    Scheme.SUPERMEM,
+)
+
+
+def scheme_config(scheme: Scheme, base: SimConfig | None = None) -> SimConfig:
+    """Derive the configuration of ``scheme`` from ``base``.
+
+    ``base`` carries everything orthogonal to the scheme (geometry, write
+    queue length, counter cache size); only the scheme-defining knobs are
+    replaced.
+    """
+    base = base if base is not None else SimConfig()
+
+    if scheme is Scheme.UNSEC:
+        return dataclasses.replace(base, encrypted=False, cwc_enabled=False)
+
+    counter_cache = base.counter_cache
+    if scheme is Scheme.WB_IDEAL:
+        counter_cache = dataclasses.replace(
+            counter_cache,
+            mode=CounterCacheMode.WRITE_BACK,
+            battery_backed=True,
+        )
+        return dataclasses.replace(
+            base,
+            encrypted=True,
+            counter_cache=counter_cache,
+            counter_placement=CounterPlacementPolicy.SINGLE_BANK,
+            cwc_enabled=False,
+        )
+
+    if scheme is Scheme.SCA:
+        counter_cache = dataclasses.replace(
+            counter_cache,
+            mode=CounterCacheMode.WRITE_BACK,
+            battery_backed=False,
+        )
+        return dataclasses.replace(
+            base,
+            encrypted=True,
+            counter_cache=counter_cache,
+            counter_placement=CounterPlacementPolicy.SINGLE_BANK,
+            cwc_enabled=False,
+            sca_mode=True,
+        )
+
+    if scheme is Scheme.OSIRIS:
+        counter_cache = dataclasses.replace(
+            counter_cache,
+            mode=CounterCacheMode.WRITE_BACK,
+            battery_backed=False,
+        )
+        return dataclasses.replace(
+            base,
+            encrypted=True,
+            counter_cache=counter_cache,
+            counter_placement=CounterPlacementPolicy.SINGLE_BANK,
+            cwc_enabled=False,
+            osiris_stop_loss=4,
+        )
+
+    counter_cache = dataclasses.replace(
+        counter_cache,
+        mode=CounterCacheMode.WRITE_THROUGH,
+        battery_backed=False,
+    )
+    placement = {
+        Scheme.WT_BASE: CounterPlacementPolicy.SINGLE_BANK,
+        Scheme.WT_CWC: CounterPlacementPolicy.SINGLE_BANK,
+        Scheme.WT_XBANK: CounterPlacementPolicy.XBANK,
+        Scheme.SUPERMEM: CounterPlacementPolicy.XBANK,
+    }[scheme]
+    cwc = scheme in (Scheme.WT_CWC, Scheme.SUPERMEM)
+    return dataclasses.replace(
+        base,
+        encrypted=True,
+        counter_cache=counter_cache,
+        counter_placement=placement,
+        cwc_enabled=cwc,
+    )

@@ -1,0 +1,629 @@
+"""The secure persistent memory system (controller-side façade).
+
+:class:`SecureMemorySystem` is what sits below the CPU caches: it receives
+*persist* requests (clwb write-backs and dirty LLC evictions) and *read*
+requests (LLC misses), and orchestrates the counter-mode encryption
+machinery around the memory controller:
+
+Write path (encrypted, write-through — Sections 3.2 and Figure 7)
+    1. bump the line's minor counter (page re-encryption on overflow);
+    2. touch the counter cache; a miss first fetches the counter line from
+       NVM (a bank read);
+    3. generate the OTP (AES latency) and encrypt the line while holding
+       data and counter in the **atomicity register**;
+    4. append the encrypted line *and* its counter line to the write queue
+       as one unit — either both become durable (ADR) or neither.
+    With the register disabled (the broken Figure 6 baseline) the counter
+    is appended before encryption completes, opening the crash window the
+    crash tests exploit.
+
+Write path (write-back counter cache — the WB baseline)
+    The counter line is updated dirty in the cache; only the data line is
+    appended. Dirty evictions emit counter writes.
+
+Read path (Figure 2b/3)
+    The OTP is generated in parallel with the data read when the counter
+    cache hits; a miss serialises counter fetch before the AES latency.
+
+All timing flows through the controller; all functional content lives in
+the controller's NVM store, so a crash can be modelled by flushing the ADR
+domain and discarding SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.address import AddressMap, CACHE_LINE_SIZE
+from repro.common.config import SimConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import Stats
+from repro.cache.counter_cache import CounterCache
+from repro.crypto.counters import CounterBlock, MonolithicCounterBlock
+from repro.crypto.otp import LineCipher
+from repro.core.crash import CrashController, DurableImage
+from repro.core.reencrypt import RSRRecord
+from repro.memory.controller import MemoryController
+from repro.memory.layout import make_layout
+from repro.memory.nvm import ZERO_LINE
+from repro.memory.write_queue import WQEntry
+
+
+def _line_mac(plaintext: bytes) -> bytes:
+    """8-byte check value over a line's plaintext.
+
+    Stands in for the ECC bits Osiris repurposes as a counter-recovery
+    sanity check: computed pre-encryption, stored with the line, and
+    matched during trial decryption.
+    """
+    import hashlib
+
+    return hashlib.sha256(b"ecc" + plaintext).digest()[:8]
+
+
+@dataclass(frozen=True)
+class PersistResult:
+    """Outcome of persisting one line."""
+
+    #: Time at which the line (and, write-through, its counter) became
+    #: durable — i.e. entered the ADR domain.
+    durable_time: float
+    #: Whether a page re-encryption ran as part of this persist.
+    reencrypted: bool = False
+
+
+@dataclass(frozen=True)
+class ReadLineResult:
+    """Outcome of reading one line from memory."""
+
+    finish_time: float
+    #: Decrypted content in functional mode; None in timing-only mode.
+    payload: Optional[bytes]
+    counter_cache_hit: bool
+
+
+class CounterStore:
+    """Authoritative current counter values (split or monolithic).
+
+    This is the union view of counter cache + NVM: the *current* counters
+    the hardware would use. What subset of it survives a crash is decided
+    by the write policy (write-through persists every update; write-back
+    only what was evicted or battery-flushed).
+    """
+
+    def __init__(self, organization: str = "split", minor_bits: int = 7):
+        if organization not in ("split", "monolithic"):
+            raise SimulationError(f"unknown counter organization {organization!r}")
+        self.organization = organization
+        self._minor_bits = minor_bits
+        self._blocks: Dict[int, object] = {}
+
+    @property
+    def lines_per_block(self) -> int:
+        if self.organization == "split":
+            return 64
+        return MonolithicCounterBlock.LINES_PER_BLOCK
+
+    def block_key_of_line(self, line: int) -> int:
+        return line // self.lines_per_block
+
+    def slot_of_line(self, line: int) -> int:
+        return line % self.lines_per_block
+
+    def block(self, key: int):
+        blk = self._blocks.get(key)
+        if blk is None:
+            if self.organization == "split":
+                blk = CounterBlock(minor_bits=self._minor_bits)
+            else:
+                blk = MonolithicCounterBlock()
+            self._blocks[key] = blk
+        return blk
+
+    def counter_of_line(self, line: int) -> int:
+        return self.block(self.block_key_of_line(line)).encryption_counter(
+            self.slot_of_line(line)
+        )
+
+    def bump(self, line: int) -> Tuple[int, int, bool]:
+        """Advance the counter of ``line`` for a new write.
+
+        Returns ``(block_key, slot, overflowed)``; when ``overflowed`` the
+        caller must re-encrypt the block's page before retrying.
+        """
+        key = self.block_key_of_line(line)
+        slot = self.slot_of_line(line)
+        overflowed = self.block(key).bump(slot)
+        return key, slot, overflowed
+
+    def serialize_block(self, key: int) -> bytes:
+        return self.block(key).to_bytes()
+
+    def load_block(self, key: int, image: bytes) -> None:
+        """Install a block parsed from an NVM counter-line image."""
+        if self.organization == "split":
+            self._blocks[key] = CounterBlock.from_bytes(
+                image, minor_bits=self._minor_bits
+            )
+        else:
+            self._blocks[key] = MonolithicCounterBlock.from_bytes(image)
+
+    def known_blocks(self) -> Dict[int, object]:
+        return dict(self._blocks)
+
+
+class SecureMemorySystem:
+    """Everything below the CPU caches, for one scheme configuration."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        stats: Optional[Stats] = None,
+        crash: Optional[CrashController] = None,
+        counter_organization: str = "split",
+    ):
+        self.config = config
+        self.stats = stats if stats is not None else Stats()
+        self.crash_ctl = crash if crash is not None else CrashController()
+        self.amap: AddressMap = config.address_map()
+        self.controller = MemoryController(config, self.stats)
+        self.counters = CounterStore(
+            organization=counter_organization,
+            minor_bits=config.minor_counter_bits,
+        )
+        self.counter_cache = CounterCache(config.counter_cache, self.stats)
+        self.layout = make_layout(
+            config.counter_placement, self.amap, xbank_offset=config.xbank_offset
+        )
+        self.cipher: Optional[LineCipher] = (
+            LineCipher() if (config.encrypted and config.functional) else None
+        )
+        #: In-flight page re-encryption (None when idle).
+        self.rsr: Optional[RSRRecord] = None
+        #: Osiris stop-loss bookkeeping: updates per counter block since
+        #: the last persisted counter write.
+        self._osiris_updates: Dict[int, int] = {}
+        self._dead = False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise SimulationError("memory system used after crash()")
+
+    def _counter_entry(
+        self, line: int, block_key: int, payload_wanted: bool
+    ) -> WQEntry:
+        """Build the write-queue entry for a counter-line write."""
+        data_bank = self.amap.bank_of_line(line)
+        placement = self.layout.placement(block_key, data_bank)
+        payload = (
+            self.counters.serialize_block(block_key) if payload_wanted else None
+        )
+        return WQEntry(
+            line=placement.line,
+            bank=placement.bank,
+            row=placement.row,
+            is_counter=True,
+            enq_time=0.0,
+            payload=payload,
+        )
+
+    def _data_entry(self, line: int, payload: Optional[bytes]) -> WQEntry:
+        return WQEntry(
+            line=line,
+            bank=self.amap.bank_of_line(line),
+            row=self.amap.row_of_line(line),
+            is_counter=False,
+            enq_time=0.0,
+            payload=payload,
+        )
+
+    def _encrypt(self, line: int, payload: Optional[bytes]) -> Optional[bytes]:
+        if payload is None or self.cipher is None:
+            return payload
+        return self.cipher.encrypt(line, self.counters.counter_of_line(line), payload)
+
+    def _fetch_counter_line(self, t: float, line: int, block_key: int) -> float:
+        """Counter-cache miss: read the counter line from NVM."""
+        data_bank = self.amap.bank_of_line(line)
+        placement = self.layout.placement(block_key, data_bank)
+        result = self.controller.read(
+            t, placement.line, bank=placement.bank, row=placement.row
+        )
+        self.stats.inc("secmem", "counter_fetches")
+        return result.finish_time
+
+    # ------------------------------------------------------------------
+    # Persist path (clwb write-backs and dirty LLC evictions)
+    # ------------------------------------------------------------------
+
+    def persist_line(
+        self,
+        t: float,
+        line: int,
+        payload: Optional[bytes] = None,
+        core: int = 0,
+        persistent: bool = True,
+    ) -> PersistResult:
+        """Persist one dirty line arriving at the memory controller.
+
+        ``persistent`` distinguishes explicit flushes (clwb — the write
+        matters for crash consistency) from plain cache evictions; only
+        the SCA scheme treats them differently (counter-atomic pair vs
+        data-only append).
+
+        Returns the durability time: when the line (plus its counter under
+        write-through) entered the ADR domain.
+        """
+        self._check_alive()
+        self.stats.inc("secmem", "data_writes")
+
+        if not self.config.encrypted:
+            durable = self.controller.append_write(
+                t, line, payload=payload, core=core
+            )
+            self.crash_ctl.probe("after-data-append")
+            return PersistResult(durable_time=durable)
+
+        # 1. advance the counter; handle minor overflow by re-encrypting.
+        reencrypted = False
+        block_key, slot, overflowed = self.counters.bump(line)
+        if overflowed:
+            t = self.reencrypt_page(t, self.amap.page_of_line(line))
+            reencrypted = True
+            block_key, slot, overflowed = self.counters.bump(line)
+            if overflowed:  # pragma: no cover - fresh minors cannot saturate
+                raise SimulationError("minor counter overflowed after re-encryption")
+
+        # 2. counter cache (read-modify-write of the counter line).
+        hit, writeback_page, fetch = self.counter_cache.access(block_key, update=True)
+        if fetch:
+            t = max(t, self._fetch_counter_line(t, line, block_key))
+        if writeback_page is not None:
+            # Write-back mode: a dirty victim leaves the cache.
+            victim = self._counter_entry(
+                line=writeback_page * self.counters.lines_per_block,
+                block_key=writeback_page,
+                payload_wanted=self.config.functional,
+            )
+            self.controller.append_write(
+                t,
+                victim.line,
+                bank=victim.bank,
+                row=victim.row,
+                is_counter=True,
+                payload=victim.payload,
+                core=core,
+            )
+
+        # 3. OTP generation + encryption (AES pipeline latency).
+        ciphertext = self._encrypt(line, payload)
+        t_enc = t + self.config.timing.aes_ns
+
+        # 4. persist.
+        if self.counter_cache.write_through:
+            counter_entry = self._counter_entry(
+                line, block_key, payload_wanted=self.config.functional
+            )
+            data_entry = self._data_entry(line, ciphertext)
+            if self.config.atomicity_register:
+                # Figure 7: both staged, both appended as one unit.
+                durable = self.controller.append_pair(
+                    t_enc, data_entry, counter_entry
+                )
+                self.crash_ctl.probe("after-pair-append")
+            else:
+                # Figure 6 (broken baseline): the counter is appended while
+                # the data is still being encrypted — the crash window.
+                self.controller.append_write(
+                    t,
+                    counter_entry.line,
+                    bank=counter_entry.bank,
+                    row=counter_entry.row,
+                    is_counter=True,
+                    payload=counter_entry.payload,
+                    core=core,
+                )
+                self.crash_ctl.probe(
+                    "wt-no-register-gap",
+                    detail=f"counter of line {line:#x} durable, data not",
+                )
+                durable = self.controller.append_write(
+                    t_enc,
+                    data_entry.line,
+                    payload=data_entry.payload,
+                    core=core,
+                )
+                self.crash_ctl.probe("after-data-append")
+        elif self.config.sca_mode and persistent:
+            # SCA: persistent (clwb-originated) writes carry their counter
+            # into the ADR domain atomically; the cached copy is then
+            # clean. Evictions fall through to the data-only path below.
+            counter_entry = self._counter_entry(
+                line, block_key, payload_wanted=self.config.functional
+            )
+            data_entry = self._data_entry(line, ciphertext)
+            durable = self.controller.append_pair(t_enc, data_entry, counter_entry)
+            self.counter_cache.mark_clean(block_key)
+            self.stats.inc("secmem", "sca_pairs")
+            self.crash_ctl.probe("after-pair-append")
+        else:
+            # Write-back counter cache: data only; counter stays dirty.
+            durable = self.controller.append_write(
+                t_enc, line, payload=ciphertext, core=core
+            )
+            self.crash_ctl.probe("after-data-append")
+            self._osiris_tick(t_enc, line, block_key, core)
+
+        if self.config.osiris_stop_loss > 0 and self.config.functional and payload is not None:
+            # ECC/MAC check bits travel with the line (recovery oracle).
+            self.controller.nvm.set_mac(line, _line_mac(payload))
+
+        return PersistResult(durable_time=durable, reencrypted=reencrypted)
+
+    def _osiris_tick(self, t: float, line: int, block_key: int, core: int) -> None:
+        """Osiris stop-loss: persist the counter line every N-th update."""
+        stop_loss = self.config.osiris_stop_loss
+        if stop_loss <= 0:
+            return
+        count = self._osiris_updates.get(block_key, 0) + 1
+        if count >= stop_loss:
+            count = 0
+            entry = self._counter_entry(
+                line, block_key, payload_wanted=self.config.functional
+            )
+            self.controller.append_write(
+                t,
+                entry.line,
+                bank=entry.bank,
+                row=entry.row,
+                is_counter=True,
+                payload=entry.payload,
+                core=core,
+            )
+            self.counter_cache.mark_clean(block_key)
+            self.stats.inc("secmem", "osiris_stop_loss_writes")
+        self._osiris_updates[block_key] = count
+
+    # ------------------------------------------------------------------
+    # Read path (LLC misses)
+    # ------------------------------------------------------------------
+
+    def read_line(self, t: float, line: int, core: int = 0) -> ReadLineResult:
+        """Service an LLC-miss read."""
+        self._check_alive()
+        self.stats.inc("secmem", "data_reads")
+        data_result = self.controller.read(t, line)
+
+        if not self.config.encrypted:
+            payload = (
+                self.controller.read_payload(line) if self.config.functional else None
+            )
+            return ReadLineResult(
+                finish_time=data_result.finish_time,
+                payload=payload,
+                counter_cache_hit=True,
+            )
+
+        block_key = self.counters.block_key_of_line(line)
+        hit, writeback_page, fetch = self.counter_cache.access(block_key, update=False)
+        # Read-path hit rate tracked separately: these are the hits that
+        # decide whether OTP generation overlaps the data fetch (Fig. 2b),
+        # i.e. the hit rate Figure 17a is about.
+        self.stats.inc("cc", "read_accesses")
+        if hit:
+            self.stats.inc("cc", "read_hits")
+        if fetch:
+            # Counter fetch runs in parallel with the data read, but the
+            # OTP can only be generated once the counter arrives.
+            ctr_ready = self._fetch_counter_line(t, line, block_key)
+        else:
+            ctr_ready = t
+        if writeback_page is not None:
+            victim = self._counter_entry(
+                line=writeback_page * self.counters.lines_per_block,
+                block_key=writeback_page,
+                payload_wanted=self.config.functional,
+            )
+            self.controller.append_write(
+                t,
+                victim.line,
+                bank=victim.bank,
+                row=victim.row,
+                is_counter=True,
+                payload=victim.payload,
+                core=core,
+            )
+
+        pad_ready = ctr_ready + self.config.timing.aes_ns
+        finish = max(data_result.finish_time, pad_ready)
+
+        payload = None
+        if self.config.functional:
+            payload = self.functional_read_plaintext(line)
+        return ReadLineResult(
+            finish_time=finish, payload=payload, counter_cache_hit=hit
+        )
+
+    def functional_read_plaintext(self, line: int) -> bytes:
+        """Current plaintext of ``line`` (never-written lines read zero)."""
+        entry = self.controller.wq.find_line(line)
+        if entry is None and not self.controller.nvm.contains(line):
+            return ZERO_LINE
+        ciphertext = self.controller.read_payload(line)
+        if self.cipher is None:
+            return ciphertext
+        return self.cipher.decrypt(
+            line, self.counters.counter_of_line(line), ciphertext
+        )
+
+    # ------------------------------------------------------------------
+    # Page re-encryption (Section 3.4.4)
+    # ------------------------------------------------------------------
+
+    def reencrypt_page(self, t: float, page: int) -> float:
+        """Re-encrypt every line of ``page`` under a bumped major counter.
+
+        Each line goes through the regular persist sequence (Figure 7), so
+        consistency, CWC and XBank all apply. The RSR tracks progress and
+        is probed per line so crash experiments can interrupt mid-way.
+        """
+        self._check_alive()
+        if self.counters.organization != "split":
+            raise SimulationError("re-encryption applies to split counters only")
+        self.stats.inc("secmem", "page_reencryptions")
+
+        block = self.counters.block(page)
+        # Capture plaintexts under the OLD counters before resetting them.
+        plaintexts: Dict[int, Optional[bytes]] = {}
+        lines = self.amap.lines_of_page(page)
+        if self.config.functional and self.cipher is not None:
+            for slot, line in enumerate(lines):
+                plaintexts[slot] = self._plaintext_under_current_counter(line)
+
+        old_major = block.start_reencryption()
+        self.rsr = RSRRecord(page=page, old_major=old_major)
+
+        for slot, line in enumerate(lines):
+            # read the old ciphertext (bank read)...
+            result = self.controller.read(t, line)
+            t = result.finish_time
+            # ...reset this line's minor and re-encrypt under the fresh
+            # counter; pending slots keep their old minors so a crash here
+            # stays recoverable via the RSR.
+            block.reset_minor(slot)
+            ciphertext = None
+            if self.config.functional and self.cipher is not None:
+                plaintext = plaintexts[slot]
+                if plaintext is not None:
+                    ciphertext = self.cipher.encrypt(
+                        line, block.encryption_counter(slot), plaintext
+                    )
+            t_enc = t + self.config.timing.aes_ns
+            counter_entry = self._counter_entry(
+                line, page, payload_wanted=self.config.functional
+            )
+            data_entry = self._data_entry(line, ciphertext)
+            if self.counter_cache.write_through:
+                t = self.controller.append_pair(t_enc, data_entry, counter_entry)
+            else:
+                t = self.controller.append_write(
+                    t_enc, line, payload=ciphertext
+                )
+            self.rsr.mark_done(slot)
+            self.crash_ctl.probe("reencrypt-line-done", detail=f"page {page} slot {slot}")
+
+        # Write-back mode: the block image in the cache is now dirty.
+        if not self.counter_cache.write_through:
+            self.counter_cache.access(page, update=True)
+        self.rsr = None
+        return t
+
+    def _plaintext_under_current_counter(self, line: int) -> Optional[bytes]:
+        """Plaintext of ``line`` decrypted with its pre-re-encryption counter."""
+        entry = self.controller.wq.find_line(line)
+        if entry is None and not self.controller.nvm.contains(line):
+            return ZERO_LINE
+        ciphertext = self.controller.read_payload(line)
+        if self.cipher is None:
+            return ciphertext
+        return self.cipher.decrypt(
+            line, self.counters.counter_of_line(line), ciphertext
+        )
+
+    # ------------------------------------------------------------------
+    # Crash / shutdown
+    # ------------------------------------------------------------------
+
+    def crash(self) -> DurableImage:
+        """Power failure: return what survives; the system becomes unusable."""
+        self._check_alive()
+        # 1. Ideal write-back: the battery flushes dirty counter lines.
+        flushed_pages, lost_pages = self.counter_cache.crash()
+        for page in flushed_pages:
+            entry = self._counter_entry(
+                line=page * self.counters.lines_per_block,
+                block_key=page,
+                payload_wanted=self.config.functional,
+            )
+            self.controller.nvm.write_line(entry.line, entry.payload)
+        self.stats.inc("secmem", "crash_lost_counter_lines", len(lost_pages))
+        # 2. The ADR battery drains the write queue.
+        self.controller.adr_flush()
+        # 3. Snapshot.
+        image = DurableImage(
+            nvm=self.controller.nvm.snapshot(),
+            rsr=(
+                self.rsr.copy()
+                if (self.rsr is not None and self.config.rsr_adr)
+                else None
+            ),
+            config=self.config,
+            macs=self.controller.nvm.snapshot_macs(),
+        )
+        self._dead = True
+        return image
+
+    def orderly_shutdown(self) -> DurableImage:
+        """Clean shutdown: drain dirty counters and the queue, then image."""
+        self._check_alive()
+        for page in self.counter_cache.drain_dirty():
+            entry = self._counter_entry(
+                line=page * self.counters.lines_per_block,
+                block_key=page,
+                payload_wanted=self.config.functional,
+            )
+            self.controller.append_write(
+                self.controller.clock,
+                entry.line,
+                bank=entry.bank,
+                row=entry.row,
+                is_counter=True,
+                payload=entry.payload,
+            )
+        self.controller.drain_all()
+        image = DurableImage(
+            nvm=self.controller.nvm.snapshot(),
+            rsr=None,
+            config=self.config,
+            macs=self.controller.nvm.snapshot_macs(),
+        )
+        self._dead = True
+        return image
+
+    def drain(self) -> float:
+        """Drain the write queue; returns the last completion time."""
+        self._check_alive()
+        return self.controller.drain_all()
+
+    def checkpoint_counters(self) -> int:
+        """Persist every dirty counter line to NVM (write-back mode).
+
+        Models a quiescent point long after earlier writes: their counters
+        have been evicted (or scrubbed) to NVM, which is the premise of
+        the paper's Table 1 prepare-stage row — pre-transaction data and
+        counters are durable and correct. No-op for write-through caches.
+        Returns the number of counter lines persisted.
+        """
+        self._check_alive()
+        dirty = self.counter_cache.drain_dirty()
+        for page in dirty:
+            entry = self._counter_entry(
+                line=page * self.counters.lines_per_block,
+                block_key=page,
+                payload_wanted=self.config.functional,
+            )
+            self.controller.append_write(
+                self.controller.clock,
+                entry.line,
+                bank=entry.bank,
+                row=entry.row,
+                is_counter=True,
+                payload=entry.payload,
+            )
+        self.controller.drain_all()
+        return len(dirty)

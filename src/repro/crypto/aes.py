@@ -1,0 +1,206 @@
+"""Self-contained AES-128 block cipher (FIPS-197).
+
+The secure-NVM literature, SuperMem included, generates one-time pads with a
+pipelined AES engine. No third-party crypto package is available in this
+environment, so this module implements AES-128 from the standard: S-box,
+key expansion, and the ten-round SubBytes/ShiftRows/MixColumns/AddRoundKey
+pipeline, plus the inverse cipher for completeness.
+
+The implementation favours clarity over raw speed — pure-Python AES costs
+tens of microseconds per block, which is why the simulator defaults to the
+SHA-256 PRF engine in :mod:`repro.crypto.engine` and uses this cipher for
+validation and for functional examples where fidelity matters more than
+throughput. Correctness is pinned to the FIPS-197 Appendix B/C vectors in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.common.errors import ConfigError
+
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+_INV_SBOX = [0] * 256
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) modulo the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+# Precomputed multiplication tables for MixColumns and its inverse.
+_MUL2 = [_gmul(x, 2) for x in range(256)]
+_MUL3 = [_gmul(x, 3) for x in range(256)]
+_MUL9 = [_gmul(x, 9) for x in range(256)]
+_MUL11 = [_gmul(x, 11) for x in range(256)]
+_MUL13 = [_gmul(x, 13) for x in range(256)]
+_MUL14 = [_gmul(x, 14) for x in range(256)]
+
+
+class AES128:
+    """AES-128 encrypting and decrypting 16-byte blocks.
+
+    Parameters
+    ----------
+    key:
+        Exactly 16 bytes of key material.
+
+    Examples
+    --------
+    >>> cipher = AES128(bytes(range(16)))
+    >>> block = bytes.fromhex("00112233445566778899aabbccddeeff")
+    >>> cipher.decrypt_block(cipher.encrypt_block(block)) == block
+    True
+    """
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ConfigError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        """Expand a 16-byte key into 11 round keys of 16 bytes each."""
+        words: List[List[int]] = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            word = list(words[i - 1])
+            if i % 4 == 0:
+                word = word[1:] + word[:1]
+                word = [_SBOX[b] for b in word]
+                word[0] ^= _RCON[i // 4 - 1]
+            words.append([w ^ p for w, p in zip(word, words[i - 4])])
+        return [
+            [b for word in words[r * 4 : r * 4 + 4] for b in word] for r in range(11)
+        ]
+
+    # ------------------------------------------------------------------
+    # Forward cipher
+    # ------------------------------------------------------------------
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        state = self._check_block(plaintext)
+        state = self._add_round_key(state, 0)
+        for rnd in range(1, 10):
+            state = [_SBOX[b] for b in state]
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = self._add_round_key(state, rnd)
+        state = [_SBOX[b] for b in state]
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, 10)
+        return bytes(state)
+
+    # ------------------------------------------------------------------
+    # Inverse cipher
+    # ------------------------------------------------------------------
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        state = self._check_block(ciphertext)
+        state = self._add_round_key(state, 10)
+        for rnd in range(9, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = [_INV_SBOX[b] for b in state]
+            state = self._add_round_key(state, rnd)
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        state = [_INV_SBOX[b] for b in state]
+        state = self._add_round_key(state, 0)
+        return bytes(state)
+
+    # ------------------------------------------------------------------
+    # Round primitives (column-major state, state[r + 4c])
+    # ------------------------------------------------------------------
+
+    def _check_block(self, block: bytes) -> List[int]:
+        if len(block) != self.BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        return list(block)
+
+    def _add_round_key(self, state: Sequence[int], rnd: int) -> List[int]:
+        key = self._round_keys[rnd]
+        return [s ^ k for s, k in zip(state, key)]
+
+    @staticmethod
+    def _shift_rows(state: Sequence[int]) -> List[int]:
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[row + 4 * col] = state[row + 4 * ((col + row) % 4)]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: Sequence[int]) -> List[int]:
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[row + 4 * ((col + row) % 4)] = state[row + 4 * col]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: Sequence[int]) -> List[int]:
+        out = [0] * 16
+        for col in range(4):
+            a0, a1, a2, a3 = state[4 * col : 4 * col + 4]
+            out[4 * col + 0] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            out[4 * col + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            out[4 * col + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            out[4 * col + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: Sequence[int]) -> List[int]:
+        out = [0] * 16
+        for col in range(4):
+            a0, a1, a2, a3 = state[4 * col : 4 * col + 4]
+            out[4 * col + 0] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            out[4 * col + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            out[4 * col + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            out[4 * col + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+        return out

@@ -1,0 +1,27 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each module produces the paper artifact named in DESIGN.md's experiment
+index:
+
+* :mod:`repro.experiments.table1` — Table 1 (recoverability per
+  transaction stage, via real crash injection and log recovery);
+* :mod:`repro.experiments.fig13` — Figure 13 (single-core transaction
+  latency across workloads, schemes, and request sizes);
+* :mod:`repro.experiments.fig14` — Figure 14 (multi-programmed latency);
+* :mod:`repro.experiments.fig15` — Figure 15 (NVM write requests
+  normalised to Unsec);
+* :mod:`repro.experiments.fig16` — Figure 16 (write-queue size
+  sensitivity);
+* :mod:`repro.experiments.fig17` — Figure 17 (counter-cache size
+  sensitivity);
+* :mod:`repro.experiments.ablations` — design-choice ablations beyond the
+  paper (CWC policy, XBank offset, drain policy, counter organisation).
+
+All runners accept a :class:`~repro.experiments.common.Scale` so the same
+code serves quick benchmarks and full regenerations.
+"""
+
+from repro.experiments.common import Scale, SCALES, experiment_base_config
+from repro.experiments.report import render_table
+
+__all__ = ["Scale", "SCALES", "experiment_base_config", "render_table"]

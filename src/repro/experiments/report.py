@@ -1,0 +1,41 @@
+"""Plain-text / markdown table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render a GitHub-markdown table with a title line.
+
+    Cells are stringified; floats get three significant decimals.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    body: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in body)) if body else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = [f"### {title}", ""]
+    out.append(line([str(h) for h in headers]))
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(r) for r in body)
+    if note:
+        out.append("")
+        out.append(f"*{note}*")
+    out.append("")
+    return "\n".join(out)

@@ -1,0 +1,129 @@
+"""PCM bank and rank timing.
+
+Each bank serves one request at a time. The timing asymmetry that drives the
+whole paper lives here: a PCM cell write occupies its bank for
+``tRCD + tCWD + tWR`` (361 ns with the paper's constants) while a read costs
+``tRCD + tCL`` (63 ns) on a row-buffer miss and just ``tCL`` (15 ns) on a
+hit. Doubling write traffic therefore roughly doubles the drain time of a
+write-dominated workload — unless the extra writes land on *other* banks,
+which is exactly the XBank insight.
+
+Secondary constraints modelled for fidelity:
+
+* **row buffer** — reads leave their row open; a following read to the same
+  row is cheap. Writes go to the cell array and close the row (PCM
+  write-through row-buffer policy).
+* **tWTR** — a read issued to a bank that just finished a write waits out
+  the write-to-read turnaround.
+* **tFAW** — at most four row activations per rolling ``tFAW`` window
+  across the rank (rarely binding next to 300 ns writes, but enforced).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.common.config import MemoryConfig, TimingConfig
+from repro.common.stats import Stats
+
+
+class RankState:
+    """Rank-level constraint state shared by all banks (tFAW window)."""
+
+    def __init__(self, timing: TimingConfig, enforce: bool = True):
+        self._timing = timing
+        self._enforce = enforce
+        self._activates: Deque[float] = deque(maxlen=4)
+
+    def activate(self, start: float) -> float:
+        """Register a row activation; returns the (possibly delayed) start."""
+        if self._enforce and len(self._activates) == 4:
+            earliest = self._activates[0] + self._timing.tfaw_ns
+            if start < earliest:
+                start = earliest
+        self._activates.append(start)
+        return start
+
+
+class Bank:
+    """One independently schedulable NVM bank."""
+
+    def __init__(
+        self,
+        index: int,
+        timing: TimingConfig,
+        config: MemoryConfig,
+        rank: RankState,
+        stats: Stats,
+    ):
+        self.index = index
+        self._timing = timing
+        self._config = config
+        self._rank = rank
+        self._stats = stats
+        #: Time at which the current operation (if any) completes.
+        self.free_at: float = 0.0
+        #: Open row for the read row-buffer model; None = closed.
+        self.open_row: Optional[int] = None
+        #: Completion time of the most recent write (for tWTR).
+        self.last_write_end: float = 0.0
+
+    @property
+    def _ns(self) -> str:
+        return f"bank.{self.index}"
+
+    def earliest_start(self, now: float) -> float:
+        """Earliest time a new request could begin on this bank."""
+        return max(now, self.free_at)
+
+    # ------------------------------------------------------------------
+    # Service routines
+    # ------------------------------------------------------------------
+
+    def service_write(self, start: float) -> float:
+        """Occupy the bank with one line write; returns completion time."""
+        start = max(start, self.free_at)
+        start = self._rank.activate(start)
+        end = start + self._timing.write_service_ns
+        self.free_at = end
+        self.last_write_end = end
+        # PCM writes bypass/close the row buffer.
+        self.open_row = None
+        self._stats.inc(self._ns, "writes")
+        self._stats.inc(self._ns, "busy_ns", end - start)
+        return end
+
+    def service_read(self, start: float, row: int) -> Tuple[float, bool]:
+        """Occupy the bank with one line read.
+
+        Returns ``(completion_time, row_buffer_hit)``.
+        """
+        start = max(start, self.free_at)
+        if self._config.enforce_twtr and start < self.last_write_end + self._timing.twtr_ns:
+            # Only delays reads that immediately chase a write on this bank.
+            if self.last_write_end > 0:
+                start = max(start, self.last_write_end + self._timing.twtr_ns)
+        hit = self._config.row_buffer and self.open_row == row
+        if hit:
+            duration = self._timing.read_hit_service_ns
+            self._stats.inc(self._ns, "row_hits")
+        else:
+            start = self._rank.activate(start)
+            duration = self._timing.read_service_ns
+            self._stats.inc(self._ns, "row_misses")
+        end = start + duration
+        self.free_at = end
+        if self._config.row_buffer:
+            self.open_row = row
+        self._stats.inc(self._ns, "reads")
+        self._stats.inc(self._ns, "busy_ns", end - start)
+        return end, hit
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to the power-on timing state."""
+        self.free_at = 0.0
+        self.open_row = None
+        self.last_write_end = 0.0

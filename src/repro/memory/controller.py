@@ -1,0 +1,351 @@
+"""The memory controller: drain scheduling, reads, stalls, ADR.
+
+The controller owns the write queue, the banks, and the command bus, and
+exposes exactly the operations the secure-memory layer needs:
+
+* :meth:`append_write` / :meth:`append_pair` — place one line write (or an
+  atomic data+counter pair staged by the atomicity register) into the
+  ADR-protected write queue, stalling the caller when the queue is full.
+  A line is **durable once appended** (ADR semantics, Section 2.1), so the
+  returned append time is the persistence time a transaction waits on.
+* :meth:`read` — service a demand read with read priority: reads bypass
+  queued writes (but not a write already occupying the bank) and are
+  forwarded straight from the write queue on an address match.
+* :meth:`advance_to` — lazily simulate the background drain up to a given
+  time: the scheduler repeatedly issues the queued write with the earliest
+  feasible start (bank free, bus free), FIFO-tie-broken, which is
+  FR-FCFS restricted to writes.
+
+The whole paper plays out in this object's queueing behaviour: doubling
+appends (write-through counters) doubles queue pressure; CWC removes
+counter appends; XBank changes which bank each counter write occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.address import AddressMap
+from repro.common.config import SimConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import Stats
+from repro.memory.bank import Bank, RankState
+from repro.memory.nvm import NVMStore
+from repro.memory.write_queue import WQEntry, WriteQueue
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a demand read at the controller."""
+
+    finish_time: float
+    #: "wq" when forwarded from the write queue, else "bank".
+    source: str
+    row_hit: bool = False
+
+
+class MemoryController:
+    """Scheduler over one rank of NVM banks plus the write queue."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        stats: Stats,
+        nvm: Optional[NVMStore] = None,
+    ):
+        self.config = config
+        self.amap: AddressMap = config.address_map()
+        self.timing = config.timing
+        self._stats = stats
+        self.nvm = nvm if nvm is not None else NVMStore(stats)
+        self.rank = RankState(config.timing, enforce=config.memory.enforce_tfaw)
+        self.banks: List[Bank] = [
+            Bank(i, config.timing, config.memory, self.rank, stats)
+            for i in range(config.memory.n_banks)
+        ]
+        self.wq = WriteQueue(
+            capacity=config.memory.write_queue_entries,
+            stats=stats,
+            cwc_enabled=config.cwc_enabled,
+            cwc_policy=config.cwc_policy,
+        )
+        #: Per-channel command-bus availability (request issue serialises
+        #: within a channel; channels are independent). The paper's
+        #: platform is single-channel, the default.
+        self.n_channels = config.memory.n_channels
+        self._banks_per_channel = config.memory.n_banks // self.n_channels
+        self.bus_free_at = [0.0] * self.n_channels
+        #: Controller logical clock: latest time the drain has simulated.
+        self.clock: float = 0.0
+        # Write-drain watermarks: the background drain engages when the
+        # queue reaches `high` and disengages at `low`. Writes are not
+        # latency-critical (ADR makes the append the durability point), so
+        # letting them sit maximises CWC's coalescing window — and is how
+        # real controllers batch writes anyway.
+        depth = config.memory.write_queue_entries
+        high = config.memory.wq_high_watermark
+        low = config.memory.wq_low_watermark
+        self.high_watermark = max(1, (3 * depth) // 4) if high is None else high
+        self.low_watermark = max(0, depth // 4) if low is None else low
+        if not 0 <= self.low_watermark < self.high_watermark <= depth:
+            raise SimulationError(
+                f"bad watermarks low={self.low_watermark} "
+                f"high={self.high_watermark} depth={depth}"
+            )
+        self._draining = False
+        policy = config.memory.drain_policy
+        if policy not in ("defer-counters", "frfcfs", "fifo"):
+            raise SimulationError(f"unknown drain policy {policy!r}")
+        self._policy = policy
+        defer = config.memory.counter_defer_ns
+        if defer is None:
+            # Default: scale the coalescing window with queue depth — a
+            # counter entry's natural residency in a depth-D queue is
+            # D/(2*banks) write services, so CWC's reach grows with the
+            # queue exactly as the paper's Figure 16a reports.
+            defer = (
+                depth
+                * config.timing.write_service_ns
+                / (2.0 * config.memory.n_banks)
+            )
+        self._counter_defer_ns = defer
+
+    # ------------------------------------------------------------------
+    # Drain engine
+    # ------------------------------------------------------------------
+
+    def _entry_start(self, entry: WQEntry) -> float:
+        bank = self.banks[entry.bank]
+        bus = self.bus_free_at[self._channel_of(entry.bank)]
+        return max(self.clock, bank.free_at, bus, entry.enq_time)
+
+    def _channel_of(self, bank: int) -> int:
+        return bank // self._banks_per_channel
+
+    def _best_candidate(self) -> Optional[Tuple[float, WQEntry]]:
+        """Next write to issue under the configured drain policy.
+
+        ``defer-counters`` (default): FR-FCFS, but a ready counter write
+        yields to a data write that can start within ``counter_defer_ns``
+        — counters linger (feeding CWC) and drain in the gaps.
+        ``frfcfs``: earliest feasible start, FIFO tie-break.
+        ``fifo``: strict append order (head-of-line blocking).
+        """
+        if self._policy == "fifo":
+            entry = self.wq.oldest()
+            if entry is None:
+                return None
+            return self._entry_start(entry), entry
+
+        defer = self._counter_defer_ns if self._policy == "defer-counters" else 0.0
+        best_start = None
+        best_entry = None
+        for entry in self.wq:
+            start = self._entry_start(entry)
+            if entry.is_counter and defer:
+                # A counter write is held back for a fixed coalescing
+                # window after its append; afterwards it competes like any
+                # other write (so XBank's parallelism is intact while CWC
+                # gets its merge window).
+                start = max(start, entry.enq_time + defer)
+            if best_start is None or start < best_start:
+                best_start, best_entry = start, entry
+        if best_entry is None:
+            return None
+        return best_start, best_entry
+
+    def _issue(self, entry: WQEntry, start: float) -> float:
+        """Send one queued write to its bank; returns completion time."""
+        self.wq.remove(entry)
+        self.bus_free_at[self._channel_of(entry.bank)] = start + self.timing.bus_ns
+        end = self.banks[entry.bank].service_write(start)
+        self.nvm.write_line(entry.line, entry.payload)
+        self._stats.inc("wq", "issued")
+        if entry.is_counter:
+            self._stats.inc("wq", "counter_issued")
+        else:
+            self._stats.inc("wq", "data_issued")
+        return end
+
+    def _drain_engaged(self) -> bool:
+        """Hysteresis: engage at the high watermark, release at the low."""
+        occupancy = len(self.wq)
+        if self._draining:
+            if occupancy <= self.low_watermark:
+                self._draining = False
+        elif occupancy >= self.high_watermark:
+            self._draining = True
+        return self._draining
+
+    def advance_to(self, t: float) -> None:
+        """Simulate the background drain up to time ``t``."""
+        while len(self.wq) > 0 and self._drain_engaged():
+            candidate = self._best_candidate()
+            if candidate is None:
+                break
+            start, entry = candidate
+            if start > t:
+                break
+            self._issue(entry, start)
+            if start > self.clock:
+                self.clock = start
+        if t > self.clock:
+            self.clock = t
+
+    def drain_all(self) -> float:
+        """Issue everything; returns the completion time of the last write."""
+        finish = self.clock
+        while len(self.wq) > 0:
+            candidate = self._best_candidate()
+            if candidate is None:  # pragma: no cover - queue always feasible
+                raise SimulationError("non-empty write queue with no candidate")
+            start, entry = candidate
+            finish = max(finish, self._issue(entry, start))
+            if start > self.clock:
+                self.clock = start
+        return finish
+
+    # ------------------------------------------------------------------
+    # Append path (persistence domain entry)
+    # ------------------------------------------------------------------
+
+    def _make_space(self, t: float, slots: int) -> float:
+        """Drain until ``slots`` queue slots are free; returns stall end."""
+        append_time = t
+        while not self.wq.has_space(slots):
+            candidate = self._best_candidate()
+            if candidate is None:  # pragma: no cover - full queue has entries
+                raise SimulationError("full write queue with no candidate")
+            start, entry = candidate
+            self._issue(entry, start)
+            if start > self.clock:
+                self.clock = start
+            append_time = max(append_time, start)
+        if append_time > t:
+            self._stats.inc("wq", "full_stalls")
+            self._stats.inc("wq", "stall_ns", append_time - t)
+        return append_time
+
+    def append_write(
+        self,
+        t: float,
+        line: int,
+        bank: Optional[int] = None,
+        row: Optional[int] = None,
+        is_counter: bool = False,
+        payload: Optional[bytes] = None,
+        core: int = 0,
+    ) -> float:
+        """Append one write; returns the time the append completed.
+
+        ``bank``/``row`` default to the data mapping of ``line``; counter
+        writes pass their explicit placement from the layout.
+        """
+        self.advance_to(t)
+        slots = 0 if (is_counter and self.wq.would_coalesce(line)) else 1
+        append_time = self._make_space(t, slots) if slots else t
+        entry = WQEntry(
+            line=line,
+            bank=self.amap.bank_of_line(line) if bank is None else bank,
+            row=self.amap.row_of_line(line) if row is None else row,
+            is_counter=is_counter,
+            enq_time=append_time,
+            payload=payload,
+            core=core,
+        )
+        self.wq.append(entry)
+        return append_time
+
+    def append_pair(
+        self,
+        t: float,
+        data: WQEntry,
+        counter: WQEntry,
+    ) -> float:
+        """Append a data+counter pair atomically (the staging register).
+
+        Both entries enter the queue at the same instant, so the ADR
+        domain always holds either both or neither — the crash-consistency
+        invariant of Section 3.2. Returns the append time.
+        """
+        self.advance_to(t)
+        # Re-evaluate coalescibility every time we drain: issuing entries
+        # to make space can consume the very counter entry the new counter
+        # write would have coalesced with.
+        append_time = t
+        while True:
+            coalesces = self.wq.would_coalesce(counter.line)
+            if self.wq.has_space(1 if coalesces else 2):
+                break
+            candidate = self._best_candidate()
+            if candidate is None:  # pragma: no cover - full queue has entries
+                raise SimulationError("full write queue with no candidate")
+            start, entry = candidate
+            self._issue(entry, start)
+            if start > self.clock:
+                self.clock = start
+            append_time = max(append_time, start)
+        if append_time > t:
+            self._stats.inc("wq", "full_stalls")
+            self._stats.inc("wq", "stall_ns", append_time - t)
+        data.enq_time = append_time
+        counter.enq_time = append_time
+        if coalesces:
+            # Counter first: its append frees the slot the data needs.
+            self.wq.append(counter)
+            self.wq.append(data)
+        else:
+            self.wq.append(data)
+            self.wq.append(counter)
+        self._stats.inc("wq", "pair_appends")
+        return append_time
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def read(
+        self,
+        t: float,
+        line: int,
+        bank: Optional[int] = None,
+        row: Optional[int] = None,
+    ) -> ReadResult:
+        """Service a demand read at time ``t``."""
+        self.advance_to(t)
+        if self.wq.find_line(line) is not None:
+            self._stats.inc("wq", "read_forwards")
+            return ReadResult(finish_time=t + self.timing.bus_ns, source="wq")
+        bank_index = self.amap.bank_of_line(line) if bank is None else bank
+        row_id = self.amap.row_of_line(line) if row is None else row
+        channel = self._channel_of(bank_index)
+        start = max(t, self.bus_free_at[channel])
+        self.bus_free_at[channel] = start + self.timing.bus_ns
+        end, hit = self.banks[bank_index].service_read(start, row_id)
+        self._stats.inc("mc", "reads")
+        return ReadResult(finish_time=end, source="bank", row_hit=hit)
+
+    def read_payload(self, line: int) -> bytes:
+        """Functional read: current durable-or-queued image of ``line``."""
+        entry = self.wq.find_line(line)
+        if entry is not None and entry.payload is not None:
+            return entry.payload
+        return self.nvm.read_line(line)
+
+    # ------------------------------------------------------------------
+    # Crash behaviour
+    # ------------------------------------------------------------------
+
+    def adr_flush(self) -> int:
+        """Power failure: the ADR battery drains the write queue to NVM.
+
+        Returns the number of entries flushed. Timing is irrelevant — the
+        machine is dying; only the functional contents matter.
+        """
+        entries = self.wq.adr_flush_order()
+        for entry in entries:
+            self.nvm.write_line(entry.line, entry.payload)
+        self.wq.clear()
+        self._stats.inc("wq", "adr_flushed", len(entries))
+        return len(entries)

@@ -1,0 +1,108 @@
+"""Functional NVM byte store with wear accounting.
+
+The store is the ground truth of what a crash leaves behind: ciphertext
+data lines and counter lines that have been *issued* from the write queue
+(plus, at crash time, whatever the ADR battery flushes out of the queue —
+the controller handles that).
+
+Payloads are optional: timing-only simulations pass ``None`` payloads and
+the store then only counts writes (wear), which keeps the hot path free of
+byte-string traffic. Functional runs (crash experiments, examples) pass
+real 64 B images.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from repro.common.address import CACHE_LINE_SIZE
+from repro.common.stats import Stats
+
+#: Image returned for never-written lines.
+ZERO_LINE = bytes(CACHE_LINE_SIZE)
+
+
+class NVMStore:
+    """Persistent line-indexed storage.
+
+    Line indices may exceed the data address space: the counter region is
+    modelled as an index extension (see :mod:`repro.memory.layout`).
+    """
+
+    def __init__(self, stats: Optional[Stats] = None):
+        self._lines: Dict[int, bytes] = {}
+        self._wear: Counter[int] = Counter()
+        self._stats = stats or Stats()
+        # Per-line ECC/MAC side storage: physically these bits live in the
+        # NVM array next to the line, so they persist with it. Used by the
+        # Osiris-style recovery (trial decryption against the check bits).
+        self._macs: Dict[int, bytes] = {}
+
+    def write_line(self, line: int, payload: Optional[bytes]) -> None:
+        """Persist one line. ``None`` payload counts wear only."""
+        self._wear[line] += 1
+        self._stats.inc("nvm", "writes")
+        if payload is not None:
+            if len(payload) != CACHE_LINE_SIZE:
+                raise ValueError(
+                    f"NVM lines are {CACHE_LINE_SIZE} bytes, got {len(payload)}"
+                )
+            self._lines[line] = bytes(payload)
+
+    def read_line(self, line: int) -> bytes:
+        """Return the persistent image of a line (zeros if never written)."""
+        self._stats.inc("nvm", "reads")
+        return self._lines.get(line, ZERO_LINE)
+
+    def contains(self, line: int) -> bool:
+        """Whether the line has ever been written with a payload."""
+        return line in self._lines
+
+    # ------------------------------------------------------------------
+    # ECC/MAC side bits (persist with their line)
+    # ------------------------------------------------------------------
+
+    def set_mac(self, line: int, mac: bytes) -> None:
+        """Store the ECC/MAC check bits of ``line``."""
+        self._macs[line] = bytes(mac)
+
+    def get_mac(self, line: int) -> Optional[bytes]:
+        """Check bits of ``line`` (None if never written with a MAC)."""
+        return self._macs.get(line)
+
+    def snapshot_macs(self) -> Dict[int, bytes]:
+        """Copy of all per-line check bits."""
+        return dict(self._macs)
+
+    # ------------------------------------------------------------------
+    # Wear / endurance accounting
+    # ------------------------------------------------------------------
+
+    def wear_of(self, line: int) -> int:
+        """Number of writes the line has absorbed."""
+        return self._wear[line]
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self._wear.values())
+
+    @property
+    def max_wear(self) -> int:
+        """Hottest line's write count (endurance headline number)."""
+        return max(self._wear.values(), default=0)
+
+    def wear_histogram(self) -> Counter:
+        """Copy of the per-line write counts."""
+        return Counter(self._wear)
+
+    # ------------------------------------------------------------------
+    # Test / crash-experiment helpers
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[int, bytes]:
+        """Copy of all stored payloads (functional lines only)."""
+        return dict(self._lines)
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,114 @@
+"""Start-Gap wear leveling (Qureshi et al., MICRO 2009) — substrate extension.
+
+Counter-mode encryption concentrates writes on counter lines (one line
+absorbs a whole page's counter updates — see
+``examples/endurance_analysis.py``), so a deployed secure PCM pairs the
+encryption layer with wear leveling. Start-Gap is the canonical low-cost
+scheme: one spare line plus two registers remap the whole region with an
+algebraic rule, rotating the mapping by one line every ``gap_write_interval``
+writes.
+
+Mechanics over a region of ``n`` lines with one spare (``n + 1`` slots):
+
+* ``gap`` points at the unused slot; ``start`` counts completed
+  rotations;
+* every ``gap_write_interval`` writes, the line just above the gap moves
+  into the gap (one extra NVM write) and the gap walks down one slot;
+  when the gap wraps, ``start`` advances — after ``n + 1`` gap movements
+  every logical line has shifted by one physical slot;
+* the logical→physical map is pure arithmetic on (start, gap): no
+  remapping table.
+
+This module is self-contained (the simulator's timing path does not remap
+by default); tests drive it directly and verify the canonical properties:
+bijectivity at every instant, bounded extra writes, and wear spreading
+under a hot-line workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.errors import ConfigError
+
+
+class StartGapLeveler:
+    """Start-Gap remapping over a region of ``n_lines`` logical lines."""
+
+    def __init__(self, n_lines: int, gap_write_interval: int = 100):
+        if n_lines < 2:
+            raise ConfigError("start-gap needs at least two lines")
+        if gap_write_interval < 1:
+            raise ConfigError("gap_write_interval must be >= 1")
+        self.n_lines = n_lines
+        self.n_slots = n_lines + 1  # one spare
+        self.gap_write_interval = gap_write_interval
+        #: Physical slot currently unused.
+        self.gap = self.n_slots - 1
+        #: Completed full rotations (mod n_slots).
+        self.start = 0
+        self._writes_since_move = 0
+        #: Extra line copies performed by gap movement (endurance cost).
+        self.gap_moves = 0
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+
+    def physical_of(self, logical: int) -> int:
+        """Physical slot of ``logical`` under the current (start, gap).
+
+        The Start-Gap rule: rotate by ``start`` over the N *lines*, then
+        shift past the gap — ``(LA + start) mod N`` lands in 0..N-1 and
+        the +1 shift opens the hole at the gap slot, so the map is a
+        bijection into the N+1 slots minus the gap at every instant.
+        """
+        if not 0 <= logical < self.n_lines:
+            raise ConfigError(f"logical line {logical} outside region")
+        slot = (logical + self.start) % self.n_lines
+        if slot >= self.gap:
+            slot += 1
+        return slot
+
+    def mapping_snapshot(self) -> Dict[int, int]:
+        """Full logical -> physical map (test/diagnostic helper)."""
+        return {line: self.physical_of(line) for line in range(self.n_lines)}
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def on_write(self, logical: int) -> tuple[int, bool]:
+        """Account one write to ``logical``.
+
+        Returns ``(physical_slot, gap_moved)``; when ``gap_moved`` the
+        caller must also copy the line just above the old gap into the old
+        gap slot (one extra NVM write — already counted in
+        :attr:`gap_moves`).
+        """
+        physical = self.physical_of(logical)
+        self._writes_since_move += 1
+        moved = False
+        if self._writes_since_move >= self.gap_write_interval:
+            self._writes_since_move = 0
+            self._move_gap()
+            moved = True
+        return physical, moved
+
+    def _move_gap(self) -> None:
+        self.gap_moves += 1
+        if self.gap == 0:
+            # Gap wraps to the top; one full rotation completes.
+            self.gap = self.n_slots - 1
+            self.start = (self.start + 1) % self.n_lines
+        else:
+            self.gap -= 1
+
+    # ------------------------------------------------------------------
+    # Endurance accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def write_overhead(self) -> float:
+        """Extra writes per payload write (the Start-Gap paper's ~1 %)."""
+        return 1.0 / self.gap_write_interval

@@ -1,0 +1,169 @@
+"""The memory controller's ADR-protected write queue with CWC.
+
+Every entry carries the one-bit **counter/data flag** the paper adds
+(Section 3.4.3) so counter-write-coalescing scans touch only counter
+entries. The queue is FIFO-ordered; the drain scheduler in
+:mod:`repro.memory.controller` may issue out of order across banks but
+preserves order per line (same line => same bank => FIFO tie-break).
+
+Counter write coalescing (CWC): when a counter line evicted from the
+write-through counter cache arrives and an *unissued* counter entry with
+the same line index is already queued, the older entry is **removed** and
+the new one appended at the tail. Removing (rather than merging the new
+content into the older entry's slot) deliberately delays the counter write,
+maximising the chance that yet more counter updates coalesce before it
+drains — the paper's Figure 10-12 argument. The newer entry always carries
+a superset of the older one's updates because both are images of the same
+write-through-cached counter line.
+
+The alternative *merge-in-place* policy (update the older entry where it
+sits) is implemented for the ablation benchmark.
+
+Durability: the queue sits inside the ADR domain — on a power failure the
+battery drains every entry to NVM. ``adr_flush_order()`` exposes the
+entries for crash modelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.stats import Stats
+
+#: CWC policies.
+CWC_REMOVE_OLDER = "remove-older"
+CWC_MERGE_IN_PLACE = "merge-in-place"
+
+
+@dataclass
+class WQEntry:
+    """One queued line write."""
+
+    line: int
+    bank: int
+    row: int
+    is_counter: bool
+    enq_time: float
+    payload: Optional[bytes] = None
+    core: int = 0
+    #: Monotonic sequence number preserving global append order.
+    seq: int = field(default=0)
+
+
+class WriteQueue:
+    """Bounded FIFO of pending NVM writes with optional CWC."""
+
+    def __init__(
+        self,
+        capacity: int,
+        stats: Stats,
+        cwc_enabled: bool = False,
+        cwc_policy: str = CWC_REMOVE_OLDER,
+    ):
+        if cwc_policy not in (CWC_REMOVE_OLDER, CWC_MERGE_IN_PLACE):
+            raise SimulationError(f"unknown CWC policy {cwc_policy!r}")
+        self.capacity = capacity
+        self.cwc_enabled = cwc_enabled
+        self.cwc_policy = cwc_policy
+        self._stats = stats
+        self._entries: List[WQEntry] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def has_space(self, n: int = 1) -> bool:
+        return len(self._entries) + n <= self.capacity
+
+    # ------------------------------------------------------------------
+    # Append path (with CWC)
+    # ------------------------------------------------------------------
+
+    def append(self, entry: WQEntry) -> bool:
+        """Append one entry; returns True if CWC coalesced an older one.
+
+        The caller must have ensured space (after accounting for the
+        possible removal — use :meth:`would_coalesce` first when the queue
+        is full).
+        """
+        coalesced = False
+        if self.cwc_enabled and entry.is_counter:
+            older = self._find_counter(entry.line)
+            if older is not None:
+                coalesced = True
+                self._stats.inc("wq", "cwc_coalesced")
+                if self.cwc_policy == CWC_REMOVE_OLDER:
+                    self._entries.remove(older)
+                else:
+                    # merge-in-place: refresh the older slot and stop.
+                    older.payload = entry.payload
+                    self._count_append(entry)
+                    return True
+        if self.full:
+            raise SimulationError("append to full write queue")
+        entry.seq = self._seq
+        self._seq += 1
+        self._entries.append(entry)
+        self._count_append(entry)
+        self._stats.maximize("wq", "peak_occupancy", len(self._entries))
+        return coalesced
+
+    def _count_append(self, entry: WQEntry) -> None:
+        self._stats.inc("wq", "appends")
+        if entry.is_counter:
+            self._stats.inc("wq", "counter_appends")
+        else:
+            self._stats.inc("wq", "data_appends")
+
+    def would_coalesce(self, line: int) -> bool:
+        """Whether appending a counter write to ``line`` frees a slot."""
+        return self.cwc_enabled and self._find_counter(line) is not None
+
+    def _find_counter(self, line: int) -> Optional[WQEntry]:
+        # The flag bit makes this a scan over counter entries only.
+        for entry in self._entries:
+            if entry.is_counter and entry.line == line:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Drain side
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[WQEntry]:
+        return iter(self._entries)
+
+    def remove(self, entry: WQEntry) -> None:
+        """Pop a specific entry chosen by the drain scheduler."""
+        self._entries.remove(entry)
+
+    def find_line(self, line: int) -> Optional[WQEntry]:
+        """Youngest queued write to ``line`` (for read forwarding)."""
+        for entry in reversed(self._entries):
+            if entry.line == line:
+                return entry
+        return None
+
+    def oldest(self) -> Optional[WQEntry]:
+        return self._entries[0] if self._entries else None
+
+    # ------------------------------------------------------------------
+    # Crash behaviour (ADR)
+    # ------------------------------------------------------------------
+
+    def adr_flush_order(self) -> List[WQEntry]:
+        """Entries in the order the ADR battery drains them on a failure."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

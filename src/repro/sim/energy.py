@@ -1,0 +1,100 @@
+"""Energy accounting for a finished run (extension beyond the paper).
+
+The paper argues write reduction primarily through performance, but in
+PCM the same reduction is an energy story: array writes cost an order of
+magnitude more than reads (RESET/SET current), and AES pads cost per
+line. This module converts a run's operation counts into energy with a
+transparent constant-per-operation model, so the schemes can be compared
+on a joules axis too.
+
+Default constants are representative PCM/CMOS values from the
+architecture literature (Lee et al. ISCA'09 ballpark):
+
+=====================  ======== =========================================
+line read (array)       2.47 nJ  64 B x ~38.6 pJ/byte (row miss)
+line read (row hit)     0.93 nJ  buffer read-out
+line write (array)     16.82 nJ  64 B x ~263 pJ/byte RESET/SET mix
+AES pad (one line)      0.56 nJ  four AES-128 blocks
+SRAM access             0.05 nJ  cache lookup (any level)
+=====================  ======== =========================================
+
+Absolute joules are only as good as these constants; the *relative*
+numbers between schemes depend only on the op counts the simulator
+already validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.metrics import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energy constants (nanojoules)."""
+
+    read_miss_nj: float = 2.47
+    read_hit_nj: float = 0.93
+    write_nj: float = 16.82
+    aes_pad_nj: float = 0.56
+    sram_access_nj: float = 0.05
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one run, by component (nanojoules)."""
+
+    nvm_reads_nj: float
+    nvm_writes_nj: float
+    aes_nj: float
+    sram_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.nvm_reads_nj + self.nvm_writes_nj + self.aes_nj + self.sram_nj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_nj / 1000.0
+
+    def format(self) -> str:
+        total = self.total_nj or 1.0
+        parts = [
+            ("NVM writes", self.nvm_writes_nj),
+            ("NVM reads", self.nvm_reads_nj),
+            ("AES", self.aes_nj),
+            ("SRAM", self.sram_nj),
+        ]
+        lines = [f"total: {self.total_uj:.2f} uJ"]
+        for name, value in parts:
+            lines.append(f"  {name:>10}: {value / 1000:.2f} uJ ({value / total:.1%})")
+        return "\n".join(lines)
+
+
+def energy_of(result: SimResult, model: EnergyModel = EnergyModel(), n_banks: int = 8) -> EnergyBreakdown:
+    """Convert a run's statistics into an energy breakdown."""
+    stats = result.stats
+    row_hits = sum(stats.get(f"bank.{b}", "row_hits") for b in range(n_banks))
+    row_misses = sum(stats.get(f"bank.{b}", "row_misses") for b in range(n_banks))
+    bank_writes = sum(stats.get(f"bank.{b}", "writes") for b in range(n_banks))
+
+    # One AES pad per encrypted line moved: every counter-carrying data
+    # write plus every decrypted read.
+    encrypted_writes = stats.get("secmem", "data_writes") if stats.get(
+        "cc", "accesses"
+    ) else 0
+    encrypted_reads = stats.get("cc", "read_accesses")
+    aes_ops = encrypted_writes + encrypted_reads
+
+    sram_accesses = sum(
+        stats.get(ns, "accesses")
+        for ns in ("l1", "l2", "l3", "cc")
+    )
+
+    return EnergyBreakdown(
+        nvm_reads_nj=row_hits * model.read_hit_nj + row_misses * model.read_miss_nj,
+        nvm_writes_nj=bank_writes * model.write_nj,
+        aes_nj=aes_ops * model.aes_pad_nj,
+        sram_nj=sram_accesses * model.sram_access_nj,
+    )

@@ -1,0 +1,131 @@
+"""The per-core trace replay engine.
+
+One :class:`CoreEngine` owns a core's clock and private cache hierarchy and
+replays trace ops against the shared :class:`~repro.core.system.
+SecureMemorySystem`:
+
+* **loads/stores** walk the hierarchy; misses become memory reads (with
+  the counter-cache/OTP overlap inside the system); dirty last-level
+  evictions become memory writes through the full encryption path —
+  fire-and-forget from the core's perspective, like a hardware write
+  buffer;
+* **clwb** flushes a dirty line into the persistence domain; the core
+  waits for the *append* (durability under ADR), which is where full-
+  write-queue stalls — the paper's central bottleneck — surface;
+* **sfence** adds the fence cost (appends are already ordered here);
+* **txn markers** delimit per-transaction latency measurement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.sram import SetAssociativeCache
+from repro.common.config import SimConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import Stats
+from repro.core.system import SecureMemorySystem
+from repro.txn.persist import (
+    OP_CLWB,
+    OP_COMPUTE,
+    OP_FENCE,
+    OP_LOAD,
+    OP_STORE,
+    OP_TXN_BEGIN,
+    OP_TXN_END,
+    TraceOp,
+)
+
+
+class CoreEngine:
+    """Replays one op stream on one core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: SimConfig,
+        system: SecureMemorySystem,
+        stats: Stats,
+        shared_l3: Optional[SetAssociativeCache] = None,
+    ):
+        self.core_id = core_id
+        self.config = config
+        self.system = system
+        self.stats = stats
+        prefix = f"core{core_id}." if shared_l3 is not None else ""
+        self.hierarchy = CacheHierarchy(
+            l1=config.l1,
+            l2=config.l2,
+            l3=config.l3,
+            timing=config.timing,
+            stats=stats,
+            shared_l3=shared_l3,
+            name_prefix=prefix,
+        )
+        self.clock: float = 0.0
+        self.txn_latencies: List[float] = []
+        self._txn_start: Optional[float] = None
+        self._measuring = True
+
+    # ------------------------------------------------------------------
+
+    def set_measuring(self, measuring: bool) -> None:
+        """Toggle transaction-latency recording (off during warmup)."""
+        self._measuring = measuring
+
+    def step(self, op: TraceOp) -> None:
+        """Execute one trace op, advancing this core's clock."""
+        kind = op[0]
+        timing = self.config.timing
+        if kind == OP_LOAD:
+            self.clock += timing.cpu_op_ns
+            self._access(op[1], write=False)
+        elif kind == OP_STORE:
+            self.clock += timing.cpu_op_ns
+            self._access(op[1], write=True)
+        elif kind == OP_CLWB:
+            self.clock += timing.clwb_issue_ns
+            line = op[1]
+            payload = op[2] if len(op) > 2 else None
+            if self.hierarchy.clwb(line):
+                result = self.system.persist_line(
+                    self.clock, line, payload=payload, core=self.core_id
+                )
+                # Durability is append time (ADR); the core resumes once
+                # the line is accepted into the write queue.
+                self.clock = max(self.clock, result.durable_time)
+        elif kind == OP_FENCE:
+            self.clock += timing.sfence_ns
+        elif kind == OP_TXN_BEGIN:
+            self._txn_start = self.clock
+        elif kind == OP_TXN_END:
+            if self._txn_start is not None and self._measuring:
+                self.txn_latencies.append(self.clock - self._txn_start)
+            self._txn_start = None
+        elif kind == OP_COMPUTE:
+            self.clock += op[1]
+        else:
+            raise SimulationError(f"unknown trace op {op!r}")
+
+    def _access(self, line: int, write: bool) -> None:
+        outcome = self.hierarchy.write(line) if write else self.hierarchy.read(line)
+        self.clock += outcome.latency_ns
+        if outcome.hit_level is None:
+            # Memory access on the critical path (write-allocate fetch for
+            # stores, demand read for loads).
+            result = self.system.read_line(self.clock, line, core=self.core_id)
+            self.clock = result.finish_time
+        for victim in outcome.memory_writebacks:
+            # Dirty last-level evictions: asynchronous from the core's view
+            # (hardware write buffers), so the clock does not chase them.
+            # persistent=False marks them as not-crash-critical (only the
+            # SCA scheme differentiates).
+            self.system.persist_line(
+                self.clock, victim, core=self.core_id, persistent=False
+            )
+
+    def run(self, ops) -> None:
+        """Replay a whole op sequence."""
+        for op in ops:
+            self.step(op)

@@ -1,0 +1,139 @@
+"""Binary trace files: persist and reload generated op streams.
+
+Trace-driven methodology separates *generation* (running the workload)
+from *simulation* (replaying under many schemes). Saving traces to disk
+makes sweeps reproducible and shareable: generate once, replay the
+identical stream under every configuration — the standard gem5/NVMain
+workflow the paper used.
+
+Format (little-endian):
+
+* 16-byte header: magic ``SMTR``, version u16, flags u16 (bit 0 =
+  payloads present), op count u64;
+* per op: opcode u8 followed by its operands —
+  ``LOAD/STORE``: line u64; ``CLWB``: line u64 + (payload length u16 +
+  bytes, when the payload flag is set); ``FENCE``: nothing;
+  ``TXN_BEGIN/TXN_END``: id u64; ``COMPUTE``: f64 nanoseconds.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, List
+
+from repro.common.errors import SimulationError
+from repro.txn.persist import (
+    OP_CLWB,
+    OP_COMPUTE,
+    OP_FENCE,
+    OP_LOAD,
+    OP_STORE,
+    OP_TXN_BEGIN,
+    OP_TXN_END,
+    TraceOp,
+)
+
+MAGIC = b"SMTR"
+VERSION = 1
+_FLAG_PAYLOADS = 1
+
+
+def save_trace(path: str | Path, ops: List[TraceOp], payloads: bool = False) -> int:
+    """Write ``ops`` to ``path``; returns the byte size written.
+
+    ``payloads=True`` stores CLWB payloads (functional traces); otherwise
+    payloads are dropped and reload yields ``None`` payloads.
+    """
+    flags = _FLAG_PAYLOADS if payloads else 0
+    with open(path, "wb") as fh:
+        fh.write(struct.pack("<4sHHQ", MAGIC, VERSION, flags, len(ops)))
+        for op in ops:
+            _write_op(fh, op, payloads)
+        return fh.tell()
+
+
+def _write_op(fh: BinaryIO, op: TraceOp, payloads: bool) -> None:
+    kind = op[0]
+    fh.write(struct.pack("<B", kind))
+    if kind in (OP_LOAD, OP_STORE):
+        fh.write(struct.pack("<Q", op[1]))
+    elif kind == OP_CLWB:
+        fh.write(struct.pack("<Q", op[1]))
+        if payloads:
+            payload = op[2] if len(op) > 2 and op[2] is not None else b""
+            fh.write(struct.pack("<H", len(payload)))
+            fh.write(payload)
+    elif kind == OP_FENCE:
+        pass
+    elif kind in (OP_TXN_BEGIN, OP_TXN_END):
+        fh.write(struct.pack("<Q", op[1]))
+    elif kind == OP_COMPUTE:
+        fh.write(struct.pack("<d", op[1]))
+    else:
+        raise SimulationError(f"cannot serialise op {op!r}")
+
+
+def load_trace(path: str | Path) -> List[TraceOp]:
+    """Read a trace file written by :func:`save_trace`."""
+    with open(path, "rb") as fh:
+        header = fh.read(16)
+        if len(header) != 16:
+            raise SimulationError(f"{path}: truncated header")
+        magic, version, flags, count = struct.unpack("<4sHHQ", header)
+        if magic != MAGIC:
+            raise SimulationError(f"{path}: not a trace file (bad magic)")
+        if version != VERSION:
+            raise SimulationError(f"{path}: unsupported version {version}")
+        payloads = bool(flags & _FLAG_PAYLOADS)
+        ops: List[TraceOp] = []
+        for _ in range(count):
+            ops.append(_read_op(fh, payloads))
+        return ops
+
+
+def _read_exact(fh: BinaryIO, n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise SimulationError("truncated trace file")
+    return data
+
+
+def _read_op(fh: BinaryIO, payloads: bool) -> TraceOp:
+    kind = _read_exact(fh, 1)[0]
+    if kind in (OP_LOAD, OP_STORE):
+        (line,) = struct.unpack("<Q", _read_exact(fh, 8))
+        return (kind, line)
+    if kind == OP_CLWB:
+        (line,) = struct.unpack("<Q", _read_exact(fh, 8))
+        if payloads:
+            (length,) = struct.unpack("<H", _read_exact(fh, 2))
+            payload = _read_exact(fh, length) if length else None
+            return (kind, line, payload)
+        return (kind, line, None)
+    if kind == OP_FENCE:
+        return (kind,)
+    if kind in (OP_TXN_BEGIN, OP_TXN_END):
+        (txn_id,) = struct.unpack("<Q", _read_exact(fh, 8))
+        return (kind, txn_id)
+    if kind == OP_COMPUTE:
+        (ns,) = struct.unpack("<d", _read_exact(fh, 8))
+        return (kind, ns)
+    raise SimulationError(f"unknown opcode {kind} in trace file")
+
+
+def trace_summary(ops: List[TraceOp]) -> dict:
+    """Quick statistics of a trace (op mix, footprint, txn count)."""
+    from collections import Counter
+
+    from repro.txn.persist import OP_NAMES
+
+    kinds = Counter(op[0] for op in ops)
+    lines = {op[1] for op in ops if op[0] in (OP_LOAD, OP_STORE, OP_CLWB)}
+    return {
+        "ops": len(ops),
+        "mix": {OP_NAMES[k]: v for k, v in sorted(kinds.items())},
+        "distinct_lines": len(lines),
+        "footprint_bytes": len(lines) * 64,
+        "transactions": kinds.get(OP_TXN_BEGIN, 0),
+    }

@@ -1,0 +1,52 @@
+"""Durable transactions over persistent memory.
+
+The paper's workloads wrap every data-structure operation in an undo-log
+durable transaction (Section 2.3, Table 1): *prepare* logs the old data,
+*mutate* updates in place, *commit* invalidates the log entry; each stage
+ends with cache-line flushes and a fence.
+
+* :mod:`repro.txn.persist` — the persistence primitives as **memory
+  domains**: the same data-structure code runs against a
+  :class:`~repro.txn.persist.TraceDomain` (records a compact op trace for
+  the timing simulator) or a :class:`~repro.txn.persist.DirectDomain`
+  (drives a functional :class:`~repro.core.system.SecureMemorySystem` for
+  crash experiments);
+* :mod:`repro.txn.log` — the undo-log region: entry wire format with magic
+  and checksum (so recovery can *detect* undecryptable entries), circular
+  allocation, and the post-crash log scan;
+* :mod:`repro.txn.transaction` — the transaction manager emitting the
+  paper's exact prepare/mutate/commit sequence with crash probes at every
+  stage boundary.
+"""
+
+from repro.txn.log import LogEntry, LogRegion, scan_log
+from repro.txn.persist import (
+    DirectDomain,
+    MemoryDomain,
+    OP_CLWB,
+    OP_COMPUTE,
+    OP_FENCE,
+    OP_LOAD,
+    OP_STORE,
+    OP_TXN_BEGIN,
+    OP_TXN_END,
+    TraceDomain,
+)
+from repro.txn.transaction import TransactionManager
+
+__all__ = [
+    "LogEntry",
+    "LogRegion",
+    "scan_log",
+    "DirectDomain",
+    "MemoryDomain",
+    "TraceDomain",
+    "TransactionManager",
+    "OP_CLWB",
+    "OP_COMPUTE",
+    "OP_FENCE",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_TXN_BEGIN",
+    "OP_TXN_END",
+]

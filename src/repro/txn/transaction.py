@@ -1,0 +1,300 @@
+"""Durable transactions: the prepare / mutate / commit sequence of Table 1.
+
+``TransactionManager.run`` executes one write-set as a durable transaction
+against any :class:`~repro.txn.persist.MemoryDomain`:
+
+1. **prepare** — read the old data, write a log entry (header + old data),
+   flush every log line, fence;
+2. **mutate** — write the new data in place, flush, fence;
+3. **commit** — rewrite the header invalidated, flush, fence.
+
+Crash probes fire at each stage boundary (``txn-after-prepare`` /
+``txn-after-mutate`` / ``txn-after-commit``) and, through the memory
+domain, inside every flush — which is how the Table 1 experiments crash
+*during* a stage.
+
+Recovery (:func:`recover_data_view`) replays the classic undo rule over a
+crashed image: a *valid* log entry means its transaction did not commit, so
+the old data is restored; an *invalidated* (or absent) entry leaves the
+data region as found.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.address import CACHE_LINE_SIZE
+from repro.common.errors import SimulationError
+from repro.core.crash import CrashController
+from repro.core.recovery import RecoveredSystem
+from repro.txn.log import (
+    KIND_REDO,
+    LogEntry,
+    LogRegion,
+    STATE_COMMITTED,
+    STATE_INVALID,
+    scan_log,
+)
+from repro.txn.persist import MemoryDomain
+
+#: One write of a transaction: (byte address, size, new bytes or None).
+WriteSpec = Tuple[int, int, Optional[bytes]]
+
+
+@dataclass
+class TxnStats:
+    """Counts maintained by a TransactionManager."""
+
+    committed: int = 0
+    log_lines_written: int = 0
+    data_lines_written: int = 0
+
+
+class TransactionManager:
+    """Runs durable transactions (undo or redo logging) on a memory domain.
+
+    ``logging_mode="undo"`` (default, the paper's Table 1 protocol): log
+    old data, mutate in place, invalidate. ``"redo"``: log new data, write
+    a commit record (durability point), then mutate in place and
+    invalidate — recovery rolls committed-but-unapplied entries forward.
+    """
+
+    def __init__(
+        self,
+        domain: MemoryDomain,
+        log_region: LogRegion,
+        crash: Optional[CrashController] = None,
+        logging_mode: str = "undo",
+    ):
+        if logging_mode not in ("undo", "redo"):
+            raise SimulationError(f"unknown logging mode {logging_mode!r}")
+        self.domain = domain
+        self.log = log_region
+        self.crash_ctl = crash or CrashController()
+        self.logging_mode = logging_mode
+        self.stats = TxnStats()
+        self._txn_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        writes: Sequence[WriteSpec],
+        reads: Sequence[Tuple[int, int]] = (),
+    ) -> int:
+        """Execute one durable transaction; returns its txn id.
+
+        ``reads`` are the operation's traversal loads (e.g. a B-tree
+        descent), performed inside the transaction window so they count
+        toward its latency. Each write gets one log entry (header + old
+        data), mirroring how a transaction logs each mutated object.
+        """
+        if not writes:
+            raise SimulationError("empty transaction")
+        txn_id = next(self._txn_ids)
+        domain = self.domain
+        domain.txn_begin(txn_id)
+        for addr, size in reads:
+            domain.load(addr, size)
+        if self.logging_mode == "redo":
+            self._run_redo(txn_id, writes)
+        else:
+            self._run_undo(txn_id, writes)
+        domain.txn_end(txn_id)
+        self.stats.committed += 1
+        return txn_id
+
+    def _run_undo(self, txn_id: int, writes: Sequence[WriteSpec]) -> None:
+        domain = self.domain
+
+        # ---- prepare: log the old data ------------------------------
+        # Torn-entry safety: payload lines are persisted *before* the
+        # header that makes the entry visible. A crash before the header
+        # append leaves the entry invisible (stale/garbage header fails
+        # the magic/checksum test) and the untouched data is consistent;
+        # a crash after it finds a complete entry.
+        entries: List[Tuple[int, LogEntry]] = []
+        for addr, size, _new in writes:
+            old = domain.load(addr, size)
+            entry = LogEntry(
+                txn_id=txn_id,
+                target_addr=addr,
+                length=size,
+                old_data=old if old is not None else b"",
+            )
+            header_addr = self.log.allocate(entry.total_lines)
+            entries.append((header_addr, entry))
+            self._write_log_payload(header_addr, entry, old)
+        domain.sfence()
+        for header_addr, entry in entries:
+            domain.store(header_addr, CACHE_LINE_SIZE, entry.header_bytes())
+            domain.clwb(header_addr, CACHE_LINE_SIZE)
+            self.stats.log_lines_written += 1
+        domain.sfence()
+        self.crash_ctl.probe("txn-after-prepare", detail=f"txn {txn_id}")
+
+        # ---- mutate: update in place --------------------------------
+        for addr, size, new in writes:
+            domain.store(addr, size, new)
+            domain.clwb(addr, size)
+            self.stats.data_lines_written += len(
+                range(addr // CACHE_LINE_SIZE, (addr + size - 1) // CACHE_LINE_SIZE + 1)
+            )
+        domain.sfence()
+        self.crash_ctl.probe("txn-after-mutate", detail=f"txn {txn_id}")
+
+        # ---- commit: invalidate the log entries ---------------------
+        for header_addr, entry in entries:
+            entry.state = STATE_INVALID
+            domain.store(header_addr, CACHE_LINE_SIZE, entry.header_bytes())
+            domain.clwb(header_addr, CACHE_LINE_SIZE)
+        domain.sfence()
+        self.crash_ctl.probe("txn-after-commit", detail=f"txn {txn_id}")
+
+    def _run_redo(self, txn_id: int, writes: Sequence[WriteSpec]) -> None:
+        """Redo protocol: log NEW data, commit record, then apply."""
+        domain = self.domain
+
+        # ---- prepare: log the new data (payload before header) -------
+        entries: List[Tuple[int, LogEntry]] = []
+        for addr, size, new in writes:
+            entry = LogEntry(
+                txn_id=txn_id,
+                target_addr=addr,
+                length=size,
+                old_data=new if new is not None else b"",
+                kind=KIND_REDO,
+            )
+            header_addr = self.log.allocate(entry.total_lines)
+            entries.append((header_addr, entry))
+            self._write_log_payload(header_addr, entry, new)
+        domain.sfence()
+        for header_addr, entry in entries:
+            domain.store(header_addr, CACHE_LINE_SIZE, entry.header_bytes())
+            domain.clwb(header_addr, CACHE_LINE_SIZE)
+            self.stats.log_lines_written += 1
+        domain.sfence()
+        self.crash_ctl.probe("txn-after-prepare", detail=f"txn {txn_id}")
+
+        # ---- commit record: the durability point ---------------------
+        for header_addr, entry in entries:
+            entry.state = STATE_COMMITTED
+            domain.store(header_addr, CACHE_LINE_SIZE, entry.header_bytes())
+            domain.clwb(header_addr, CACHE_LINE_SIZE)
+        domain.sfence()
+        self.crash_ctl.probe("txn-after-commit-record", detail=f"txn {txn_id}")
+
+        # ---- apply: write the data in place --------------------------
+        for addr, size, new in writes:
+            domain.store(addr, size, new)
+            domain.clwb(addr, size)
+            self.stats.data_lines_written += len(
+                range(addr // CACHE_LINE_SIZE, (addr + size - 1) // CACHE_LINE_SIZE + 1)
+            )
+        domain.sfence()
+        self.crash_ctl.probe("txn-after-mutate", detail=f"txn {txn_id}")
+
+        # ---- retire: invalidate the log entries ----------------------
+        for header_addr, entry in entries:
+            entry.state = STATE_INVALID
+            domain.store(header_addr, CACHE_LINE_SIZE, entry.header_bytes())
+            domain.clwb(header_addr, CACHE_LINE_SIZE)
+        domain.sfence()
+        self.crash_ctl.probe("txn-after-commit", detail=f"txn {txn_id}")
+
+    def _write_log_payload(
+        self, header_addr: int, entry: LogEntry, old: Optional[bytes]
+    ) -> None:
+        """Emit and flush the payload (old-data) lines of one log entry."""
+        domain = self.domain
+        payload_lines = entry.payload_lines
+        for i in range(payload_lines):
+            line_addr = header_addr + (1 + i) * CACHE_LINE_SIZE
+            if old is not None:
+                chunk = old[i * CACHE_LINE_SIZE : (i + 1) * CACHE_LINE_SIZE]
+                chunk = chunk + bytes(CACHE_LINE_SIZE - len(chunk))
+            else:
+                chunk = None
+            domain.store(line_addr, CACHE_LINE_SIZE, chunk)
+        domain.clwb(
+            header_addr + CACHE_LINE_SIZE, payload_lines * CACHE_LINE_SIZE
+        )
+        self.stats.log_lines_written += payload_lines
+
+
+# ----------------------------------------------------------------------
+# Recovery
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of log recovery over a crashed image."""
+
+    #: Entries whose logged data was applied: rolled-back undo entries
+    #: (valid, uncommitted) and rolled-forward redo entries (committed,
+    #: possibly unapplied).
+    undone: List[LogEntry] = field(default_factory=list)
+    #: Entries found invalidated (committed transactions).
+    committed: List[LogEntry] = field(default_factory=list)
+    #: Restored data view: line index -> plaintext after undo.
+    view: Dict[int, bytes] = field(default_factory=dict)
+
+
+def recover_data_view(
+    recovered: RecoveredSystem,
+    log_region: LogRegion,
+    data_lines: Sequence[int],
+) -> RecoveryReport:
+    """Replay undo recovery and materialise the post-recovery data view.
+
+    Parameters
+    ----------
+    recovered:
+        The decryption view of the durable image.
+    log_region:
+        Where the crashed system kept its undo log.
+    data_lines:
+        The data lines the caller cares about (the audit universe).
+    """
+
+    def read_line(byte_addr: int) -> bytes:
+        return recovered.plaintext_of(byte_addr // CACHE_LINE_SIZE)
+
+    report = RecoveryReport()
+    report.view = {line: recovered.plaintext_of(line) for line in data_lines}
+
+    def apply(entry: LogEntry) -> None:
+        addr = entry.target_addr
+        data = entry.old_data
+        offset = 0
+        while offset < entry.length:
+            line = (addr + offset) // CACHE_LINE_SIZE
+            within = (addr + offset) % CACHE_LINE_SIZE
+            chunk = min(CACHE_LINE_SIZE - within, entry.length - offset)
+            base = bytearray(report.view.get(line, recovered.plaintext_of(line)))
+            base[within : within + chunk] = data[offset : offset + chunk]
+            report.view[line] = bytes(base)
+            offset += chunk
+
+    for entry in scan_log(log_region, read_line):
+        if entry.state == STATE_INVALID:
+            report.committed.append(entry)
+            continue
+        if entry.kind == KIND_REDO:
+            if entry.state == STATE_COMMITTED:
+                # Committed but possibly unapplied: roll the new data
+                # forward (idempotent if it was already in place).
+                apply(entry)
+                report.undone.append(entry)
+            else:
+                # Uncommitted redo entry: the data region was never
+                # touched — nothing to do.
+                report.committed.append(entry)
+            continue
+        # Valid undo entry => the transaction never committed: roll back.
+        apply(entry)
+        report.undone.append(entry)
+    return report

@@ -1,0 +1,46 @@
+"""The paper's five transactional microbenchmarks.
+
+Each workload is a real persistent data structure running against a
+:class:`~repro.txn.persist.MemoryDomain` through the undo-log transaction
+manager, so the access locality the paper's results hinge on (Section 5.4's
+discussion of Figure 17) is produced by actual structure behaviour:
+
+* **array** — random entry swaps: poor spatial locality across
+  transactions;
+* **queue** — enqueue/dequeue over a ring: perfectly sequential;
+* **btree** — B-tree whose nodes pack multiple items contiguously: good
+  locality;
+* **hashtable** — inserts at hashed slots: poor locality;
+* **rbtree** — one item per node, pointer-chasing inserts with
+  recolouring/rotations: poor locality plus scattered fix-up writes.
+
+The *transaction request size* (256 B / 1 KB / 4 KB in Figures 13 and 15)
+is the ``request_size`` parameter: the payload bytes one transaction
+writes.
+
+:func:`repro.workloads.generator.generate_trace` wires a workload to a
+:class:`~repro.txn.persist.TraceDomain` and returns the op stream for the
+timing simulator.
+"""
+
+from repro.workloads.array import ArrayWorkload
+from repro.workloads.base import Workload, WORKLOAD_NAMES
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.generator import build_workload, generate_trace
+from repro.workloads.hashtable import HashTableWorkload
+from repro.workloads.heap import PersistentHeap
+from repro.workloads.queue import QueueWorkload
+from repro.workloads.rbtree import RBTreeWorkload
+
+__all__ = [
+    "ArrayWorkload",
+    "Workload",
+    "WORKLOAD_NAMES",
+    "BTreeWorkload",
+    "build_workload",
+    "generate_trace",
+    "HashTableWorkload",
+    "PersistentHeap",
+    "QueueWorkload",
+    "RBTreeWorkload",
+]

@@ -1,0 +1,80 @@
+"""Mixed read/write workload with zipfian key popularity (YCSB-like).
+
+The paper's five microbenchmarks are write-dominated (that is where the
+counter-persistence problem lives). This additional workload exercises the
+*read* path — counter-cache hits overlapping OTP generation with data
+fetches (Figure 2b) — with a configurable read ratio and a zipfian
+popularity skew, the standard cloud-store access model.
+
+A read operation is a plain lookup (loads only, no transaction); a write
+is a durable transactional update of the item, like the other workloads.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import List
+
+from repro.common.address import CACHE_LINE_SIZE
+from repro.workloads.base import Workload
+
+
+class ZipfSampler:
+    """Zipf(theta) sampling over ``n`` items via inverse-CDF lookup."""
+
+    def __init__(self, n: int, theta: float = 0.99):
+        if n <= 0:
+            raise ValueError("need at least one item")
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        weights = [1.0 / (rank**theta) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self._cdf: List[float] = list(itertools.accumulate(w / total for w in weights))
+        self.n = n
+        self.theta = theta
+
+    def sample(self, rng) -> int:
+        """Draw one item index (0 = most popular)."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+
+class MixedWorkload(Workload):
+    """Zipfian reads and transactional writes over a flat item table."""
+
+    name = "mixed"
+
+    #: Fraction of operations that are reads (YCSB-B-like default).
+    read_ratio: float = 0.8
+    #: Zipfian skew.
+    zipf_theta: float = 0.99
+
+    def setup(self) -> None:
+        self.item_size = self.request_size
+        self.slot_size = CACHE_LINE_SIZE + self.item_size
+        self.n_items = max(8, self.footprint // self.slot_size)
+        self.base = self.heap.alloc(self.n_items * self.slot_size)
+        self.zipf = ZipfSampler(self.n_items, theta=self.zipf_theta)
+        self.reads_done = 0
+        self.writes_done = 0
+
+    def item_addr(self, index: int) -> int:
+        return self.base + index * self.slot_size
+
+    def run_op(self) -> None:
+        index = self.zipf.sample(self.rng)
+        if self.rng.random() < self.read_ratio:
+            # Plain lookup: header + item loads, no persistence.
+            self.domain.load(self.item_addr(index), self.slot_size)
+            self.reads_done += 1
+            return
+        writes = [
+            (self.item_addr(index), CACHE_LINE_SIZE, self.payload(CACHE_LINE_SIZE)),
+            (
+                self.item_addr(index) + CACHE_LINE_SIZE,
+                self.item_size,
+                self.payload(self.item_size),
+            ),
+        ]
+        self.manager.run(writes)
+        self.writes_done += 1

@@ -1,0 +1,229 @@
+"""Red-black tree workload: one item per node, full rebalancing.
+
+Classic red-black insertion with recolouring and rotations. Each node is a
+one-line header (key, colour, pointers) plus an item of ``request_size``
+bytes. The insert transaction writes the new node, its parent's pointer
+line, and the headers touched by fix-up — scattered single-line writes to
+pointer-chased addresses, the paper's worst-locality workload ("the
+structure of one item per node in the RB-tree exhibits poor spatial
+locality", Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.common.address import CACHE_LINE_SIZE
+from repro.workloads.base import Workload
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "color", "left", "right", "parent", "header_addr", "item_addr")
+
+    def __init__(self, key: int, header_addr: int, item_addr: int):
+        self.key = key
+        self.color = RED
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.parent: Optional[_Node] = None
+        self.header_addr = header_addr
+        self.item_addr = item_addr
+
+
+class RBTreeWorkload(Workload):
+    """Random-key inserts into a persistent red-black tree."""
+
+    name = "rbtree"
+
+    def setup(self) -> None:
+        self.item_size = self.request_size
+        self.node_size = CACHE_LINE_SIZE + self.item_size
+        self.root: Optional[_Node] = None
+        max_items = max(8, self.footprint // self.node_size)
+        self._key_universe = max_items * 4
+        self.n_nodes = 0
+
+    # ------------------------------------------------------------------
+
+    def _new_node(self, key: int) -> _Node:
+        header = self.heap.alloc_lines(1)
+        item = self.heap.alloc(self.item_size)
+        self.n_nodes += 1
+        return _Node(key, header, item)
+
+    def _touch(self, node: _Node, dirtied: Set[_Node]) -> None:
+        """Mark a node's header as modified by this transaction."""
+        dirtied.add(node)
+
+    def run_op(self) -> None:
+        """Insert one random key (update in place on duplicates)."""
+        key = self.rng.randrange(self._key_universe)
+        reads: List[Tuple[int, int]] = []
+        dirtied: Set[_Node] = set()
+        new_item_writes: List[Tuple[int, int, Optional[bytes]]] = []
+
+        # BST descent (loads one header per visited node).
+        parent = None
+        current = self.root
+        while current is not None:
+            reads.append((current.header_addr, CACHE_LINE_SIZE))
+            if key == current.key:
+                # Update in place: rewrite the item and stamp the header.
+                writes = [
+                    (current.item_addr, self.item_size, self.payload(self.item_size)),
+                    (current.header_addr, CACHE_LINE_SIZE, self.payload(CACHE_LINE_SIZE)),
+                ]
+                self.manager.run(writes, reads=reads)
+                return
+            parent = current
+            current = current.left if key < current.key else current.right
+
+        node = self._new_node(key)
+        node.parent = parent
+        if parent is None:
+            self.root = node
+        elif key < parent.key:
+            parent.left = node
+            self._touch(parent, dirtied)
+        else:
+            parent.right = node
+            self._touch(parent, dirtied)
+        self._touch(node, dirtied)
+        new_item_writes.append(
+            (node.item_addr, self.item_size, self.payload(self.item_size))
+        )
+
+        self._fix_insert(node, dirtied)
+
+        writes = new_item_writes + [
+            (n.header_addr, CACHE_LINE_SIZE, self.payload(CACHE_LINE_SIZE))
+            for n in sorted(dirtied, key=lambda n: n.header_addr)
+        ]
+        self.manager.run(writes, reads=reads)
+
+    # ------------------------------------------------------------------
+    # Red-black fix-up (CLRS insertion rebalancing)
+    # ------------------------------------------------------------------
+
+    def _fix_insert(self, node: _Node, dirtied: Set[_Node]) -> None:
+        while node.parent is not None and node.parent.color is RED:
+            parent = node.parent
+            grand = parent.parent
+            if grand is None:
+                break
+            if parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color is RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    for n in (parent, uncle, grand):
+                        self._touch(n, dirtied)
+                    node = grand
+                    continue
+                if node is parent.right:
+                    node = parent
+                    self._rotate_left(node, dirtied)
+                    parent = node.parent
+                    grand = parent.parent if parent else None
+                if parent and grand:
+                    parent.color = BLACK
+                    grand.color = RED
+                    self._touch(parent, dirtied)
+                    self._touch(grand, dirtied)
+                    self._rotate_right(grand, dirtied)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color is RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    for n in (parent, uncle, grand):
+                        self._touch(n, dirtied)
+                    node = grand
+                    continue
+                if node is parent.left:
+                    node = parent
+                    self._rotate_right(node, dirtied)
+                    parent = node.parent
+                    grand = parent.parent if parent else None
+                if parent and grand:
+                    parent.color = BLACK
+                    grand.color = RED
+                    self._touch(parent, dirtied)
+                    self._touch(grand, dirtied)
+                    self._rotate_left(grand, dirtied)
+        if self.root is not None and self.root.color is RED:
+            self.root.color = BLACK
+            self._touch(self.root, dirtied)
+
+    def _rotate_left(self, node: _Node, dirtied: Set[_Node]) -> None:
+        pivot = node.right
+        if pivot is None:
+            return
+        node.right = pivot.left
+        if pivot.left is not None:
+            pivot.left.parent = node
+            self._touch(pivot.left, dirtied)
+        pivot.parent = node.parent
+        if node.parent is None:
+            self.root = pivot
+        elif node is node.parent.left:
+            node.parent.left = pivot
+            self._touch(node.parent, dirtied)
+        else:
+            node.parent.right = pivot
+            self._touch(node.parent, dirtied)
+        pivot.left = node
+        node.parent = pivot
+        self._touch(node, dirtied)
+        self._touch(pivot, dirtied)
+
+    def _rotate_right(self, node: _Node, dirtied: Set[_Node]) -> None:
+        pivot = node.left
+        if pivot is None:
+            return
+        node.left = pivot.right
+        if pivot.right is not None:
+            pivot.right.parent = node
+            self._touch(pivot.right, dirtied)
+        pivot.parent = node.parent
+        if node.parent is None:
+            self.root = pivot
+        elif node is node.parent.right:
+            node.parent.right = pivot
+            self._touch(node.parent, dirtied)
+        else:
+            node.parent.left = pivot
+            self._touch(node.parent, dirtied)
+        pivot.right = node
+        node.parent = pivot
+        self._touch(node, dirtied)
+        self._touch(pivot, dirtied)
+
+    # ------------------------------------------------------------------
+    # Validation helpers (used by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> int:
+        """Verify BST order + red-black rules; returns black height."""
+        if self.root is None:
+            return 0
+        assert self.root.color is BLACK, "root must be black"
+        return self._check(self.root, lo=None, hi=None)
+
+    def _check(self, node: Optional[_Node], lo, hi) -> int:
+        if node is None:
+            return 1
+        assert lo is None or node.key > lo
+        assert hi is None or node.key < hi
+        if node.color is RED:
+            for child in (node.left, node.right):
+                assert child is None or child.color is BLACK, "red-red violation"
+        left_black = self._check(node.left, lo, node.key)
+        right_black = self._check(node.right, node.key, hi)
+        assert left_black == right_black, "black-height mismatch"
+        return left_black + (1 if node.color is BLACK else 0)

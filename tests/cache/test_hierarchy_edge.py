@@ -1,0 +1,72 @@
+"""Edge-interaction tests for the cache hierarchy."""
+
+from repro.common.config import CacheConfig, TimingConfig
+from repro.common.stats import Stats
+from repro.cache.hierarchy import CacheHierarchy
+
+
+def tiny():
+    stats = Stats()
+    h = CacheHierarchy(
+        l1=CacheConfig(size=2 * 64, assoc=2, latency_cycles=2),
+        l2=CacheConfig(size=4 * 64, assoc=4, latency_cycles=16),
+        l3=CacheConfig(size=8 * 64, assoc=8, latency_cycles=30),
+        timing=TimingConfig(),
+        stats=stats,
+    )
+    return h, stats
+
+
+def test_dirty_line_survives_l1_eviction_then_clwb_finds_it():
+    """A dirty line pushed from L1 into L2 must still be flushed by clwb."""
+    h, _ = tiny()
+    h.write(0)
+    h.write(2)  # fills L1's only set
+    h.write(4)  # evicts line 0 (dirty) into L2
+    assert not h.l1.contains(0)
+    assert h.l2.is_dirty(0)
+    assert h.clwb(0) is True  # found the dirty copy in L2
+
+
+def test_hit_in_l2_refills_l1():
+    h, _ = tiny()
+    h.read(0)
+    h.read(2)
+    h.read(4)  # line 0 falls to L2
+    outcome = h.read(0)
+    assert outcome.hit_level in (2, 3)
+    assert h.l1.contains(0)  # refilled
+
+
+def test_clflush_then_rewrite_is_miss_then_dirty():
+    h, _ = tiny()
+    h.write(0)
+    h.clflush(0)
+    outcome = h.write(0)
+    assert outcome.hit_level is None
+    assert h.l1.is_dirty(0)
+
+
+def test_writeback_cascade_depth():
+    """Dirty data must never be silently dropped: filling all levels with
+    dirty lines produces exactly the overflow as memory write-backs."""
+    h, stats = tiny()
+    n = 32
+    for line in range(n):
+        h.write(line)
+    resident_dirty = (
+        sum(1 for _ in h.l1.dirty_lines())
+        + sum(1 for _ in h.l2.dirty_lines())
+        + sum(1 for _ in h.l3.dirty_lines())
+    )
+    written_back = int(stats.get("hierarchy", "memory_writebacks"))
+    assert resident_dirty + written_back == n
+
+
+def test_clwb_counts():
+    h, stats = tiny()
+    h.write(0)
+    h.clwb(0)
+    h.clwb(0)  # clean now
+    assert stats.get("hierarchy", "clwb") == 2
+    assert stats.get("hierarchy", "clwb_dirty") == 1

@@ -1,0 +1,88 @@
+"""Tests for the statistics registry."""
+
+from repro.common.stats import Stats
+
+
+def test_inc_and_get():
+    s = Stats()
+    s.inc("wq", "appends")
+    s.inc("wq", "appends", 2)
+    assert s.get("wq", "appends") == 3
+
+
+def test_get_default():
+    s = Stats()
+    assert s.get("nothing", "here") == 0
+    assert s.get("nothing", "here", default=7) == 7
+
+
+def test_set_overwrites():
+    s = Stats()
+    s.inc("a", "x", 10)
+    s.set("a", "x", 3)
+    assert s.get("a", "x") == 3
+
+
+def test_maximize():
+    s = Stats()
+    s.maximize("wq", "peak", 5)
+    s.maximize("wq", "peak", 3)
+    s.maximize("wq", "peak", 9)
+    assert s.get("wq", "peak") == 9
+
+
+def test_namespace_view():
+    s = Stats()
+    s.inc("bank.0", "reads", 3)
+    s.inc("bank.0", "writes", 4)
+    s.inc("bank.1", "reads", 9)
+    assert s.namespace("bank.0") == {"reads": 3, "writes": 4}
+
+
+def test_ratio():
+    s = Stats()
+    s.inc("cc", "hits", 3)
+    s.inc("cc", "accesses", 4)
+    assert s.ratio("cc", "hits", "accesses") == 0.75
+    assert s.ratio("cc", "hits", "missing-denominator") == 0.0
+
+
+def test_merge_adds():
+    a, b = Stats(), Stats()
+    a.inc("x", "n", 1)
+    b.inc("x", "n", 2)
+    b.inc("y", "m", 5)
+    a.merge(b)
+    assert a.get("x", "n") == 3
+    assert a.get("y", "m") == 5
+
+
+def test_reset():
+    s = Stats()
+    s.inc("x", "n", 3)
+    s.reset()
+    assert s.get("x", "n") == 0
+
+
+def test_iteration_is_sorted():
+    s = Stats()
+    s.inc("b", "z")
+    s.inc("a", "y")
+    order = [(space, counter) for space, counter, _ in s]
+    assert order == [("a", "y"), ("b", "z")]
+
+
+def test_format_filters_by_prefix():
+    s = Stats()
+    s.inc("bank.0", "writes", 2)
+    s.inc("wq", "appends", 1)
+    text = s.format(prefix="bank")
+    assert "bank.0.writes = 2" in text
+    assert "wq" not in text
+
+
+def test_integer_values_render_without_decimals():
+    s = Stats()
+    s.inc("a", "n", 2.0)
+    assert s.get("a", "n") == 2
+    assert isinstance(s.get("a", "n"), int)

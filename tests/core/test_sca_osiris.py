@@ -1,0 +1,149 @@
+"""Tests for the related-work baselines: SCA and Osiris (Section 6)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import MemoryConfig, SimConfig
+from repro.common.errors import SimulationError
+from repro.core.osiris import OsirisRecovery
+from repro.core.recovery import RecoveredSystem
+from repro.core.schemes import Scheme, scheme_config
+from repro.core.system import SecureMemorySystem
+
+PAYLOADS = [bytes([tag]) * 64 for tag in range(1, 9)]
+
+
+def make_system(scheme, **overrides):
+    base = SimConfig(memory=MemoryConfig(capacity=8 << 20))
+    cfg = dataclasses.replace(scheme_config(scheme, base), **overrides)
+    return SecureMemorySystem(cfg)
+
+
+class TestSchemeAssembly:
+    def test_sca_config(self):
+        cfg = scheme_config(Scheme.SCA)
+        assert cfg.sca_mode is True
+        assert cfg.counter_cache.battery_backed is False
+        assert cfg.counter_cache.mode.value == "write-back"
+
+    def test_osiris_config(self):
+        cfg = scheme_config(Scheme.OSIRIS)
+        assert cfg.osiris_stop_loss == 4
+        assert cfg.counter_cache.battery_backed is False
+
+    def test_labels(self):
+        assert Scheme.SCA.label == "SCA"
+        assert Scheme.OSIRIS.label == "Osiris"
+
+
+class TestSCA:
+    def test_persistent_writes_pair_counter(self):
+        sys = make_system(Scheme.SCA)
+        sys.persist_line(0.0, line=0, payload=PAYLOADS[0], persistent=True)
+        assert sys.stats.get("secmem", "sca_pairs") == 1
+        assert sys.stats.get("wq", "counter_appends") == 1
+
+    def test_evictions_skip_counter(self):
+        sys = make_system(Scheme.SCA)
+        sys.persist_line(0.0, line=0, payload=PAYLOADS[0], persistent=False)
+        assert sys.stats.get("wq", "counter_appends") == 0
+        assert sys.counter_cache.is_dirty(0)
+
+    def test_persistent_write_cleans_counter_line(self):
+        sys = make_system(Scheme.SCA)
+        sys.persist_line(0.0, line=0, payload=PAYLOADS[0], persistent=False)
+        assert sys.counter_cache.is_dirty(0)
+        sys.persist_line(1.0, line=1, payload=PAYLOADS[1], persistent=True)
+        assert not sys.counter_cache.is_dirty(0)  # same page, persisted
+
+    def test_crash_preserves_persistent_writes(self):
+        sys = make_system(Scheme.SCA)
+        sys.persist_line(0.0, line=0, payload=PAYLOADS[0], persistent=True)
+        sys.persist_line(1.0, line=1, payload=PAYLOADS[1], persistent=True)
+        recovered = RecoveredSystem(sys.crash())
+        assert recovered.plaintext_of(0) == PAYLOADS[0]
+        assert recovered.plaintext_of(1) == PAYLOADS[1]
+
+    def test_crash_may_lose_eviction_written_lines(self):
+        """The SCA trade-off: unannotated (eviction) writes are not
+        counter-atomic; after a crash they can be garbage."""
+        sys = make_system(Scheme.SCA)
+        sys.persist_line(0.0, line=0, payload=PAYLOADS[0], persistent=True)
+        # Re-write the same line via the eviction path: counter bumps in
+        # SRAM only, data reaches NVM with the new pad.
+        sys.persist_line(1.0, line=0, payload=PAYLOADS[1], persistent=False)
+        recovered = RecoveredSystem(sys.crash())
+        got = recovered.plaintext_of(0)
+        assert got != PAYLOADS[1]  # stored counter is stale
+
+
+class TestOsiris:
+    def test_stop_loss_persists_every_nth_counter(self):
+        sys = make_system(Scheme.OSIRIS)
+        for i in range(8):
+            sys.persist_line(float(i), line=i % 2, payload=PAYLOADS[i])
+        # 8 updates of page 0's counter block at stop-loss 4 => 2 writes.
+        assert sys.stats.get("secmem", "osiris_stop_loss_writes") == 2
+        assert sys.stats.get("wq", "counter_appends") == 2
+
+    def test_osiris_writes_fewer_counters_than_wt(self):
+        wt = make_system(Scheme.WT_BASE)
+        osiris = make_system(Scheme.OSIRIS)
+        for i in range(16):
+            wt.persist_line(float(i), line=i % 4, payload=PAYLOADS[i % 8])
+            osiris.persist_line(float(i), line=i % 4, payload=PAYLOADS[i % 8])
+        assert (
+            osiris.stats.get("wq", "counter_appends")
+            < wt.stats.get("wq", "counter_appends")
+        )
+
+    def test_recovery_repairs_stale_counters(self):
+        sys = make_system(Scheme.OSIRIS)
+        # 6 updates to line 0: counters persisted at updates 4; the last
+        # 2 bumps are lost with the cache on a crash.
+        for i in range(6):
+            sys.persist_line(float(i), line=0, payload=PAYLOADS[i])
+        image = sys.crash()
+        recovery = OsirisRecovery(image)
+        report = recovery.recover()
+        assert report.failed_lines == []
+        assert report.repaired_lines >= 1
+        assert recovery.plaintext_of(0, report) == PAYLOADS[5]
+
+    def test_clean_counters_need_one_trial(self):
+        sys = make_system(Scheme.OSIRIS)
+        for i in range(4):  # exactly one stop-loss period
+            sys.persist_line(float(i), line=0, payload=PAYLOADS[i])
+        image = sys.crash()
+        report = OsirisRecovery(image).recover()
+        assert report.failed_lines == []
+        assert report.counters  # line 0 recovered
+        assert OsirisRecovery(image).plaintext_of(0, report) == PAYLOADS[3]
+
+    def test_recovery_work_scales_with_written_lines(self):
+        """The paper's Section 6 claim: recovery time grows with memory."""
+        trials = []
+        for n_lines in (8, 32):
+            sys = make_system(Scheme.OSIRIS)
+            for i in range(n_lines):
+                sys.persist_line(float(i), line=i, payload=PAYLOADS[i % 8])
+            report = OsirisRecovery(sys.crash()).recover()
+            assert report.failed_lines == []
+            trials.append(report.trial_decryptions)
+        assert trials[1] > 3 * trials[0]
+
+    def test_supermem_needs_no_counter_recovery(self):
+        """Contrast: strict persistence recovers counters for free."""
+        sys = make_system(Scheme.SUPERMEM)
+        for i in range(8):
+            sys.persist_line(float(i), line=i, payload=PAYLOADS[i])
+        recovered = RecoveredSystem(sys.crash())
+        for i in range(8):
+            assert recovered.plaintext_of(i) == PAYLOADS[i]
+
+    def test_recovery_rejects_non_osiris_image(self):
+        sys = make_system(Scheme.SUPERMEM)
+        sys.persist_line(0.0, line=0, payload=PAYLOADS[0])
+        with pytest.raises(SimulationError):
+            OsirisRecovery(sys.crash())

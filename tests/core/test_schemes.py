@@ -1,0 +1,84 @@
+"""Tests for scheme assembly."""
+
+import pytest
+
+from repro.common.config import (
+    CounterCacheMode,
+    CounterPlacementPolicy,
+    MemoryConfig,
+    SimConfig,
+)
+from repro.core.schemes import EVALUATED_SCHEMES, Scheme, scheme_config
+
+
+def test_all_six_schemes_present():
+    assert len(EVALUATED_SCHEMES) == 6
+    assert EVALUATED_SCHEMES[0] is Scheme.UNSEC
+    assert EVALUATED_SCHEMES[-1] is Scheme.SUPERMEM
+
+
+def test_labels_match_paper():
+    assert Scheme.UNSEC.label == "Unsec"
+    assert Scheme.WB_IDEAL.label == "WB"
+    assert Scheme.WT_BASE.label == "WT"
+    assert Scheme.WT_CWC.label == "WT+CWC"
+    assert Scheme.WT_XBANK.label == "WT+XBank"
+    assert Scheme.SUPERMEM.label == "SuperMem"
+
+
+def test_unsec_disables_encryption():
+    cfg = scheme_config(Scheme.UNSEC)
+    assert cfg.encrypted is False
+    assert cfg.cwc_enabled is False
+
+
+def test_wb_ideal_is_battery_backed_write_back():
+    cfg = scheme_config(Scheme.WB_IDEAL)
+    assert cfg.encrypted
+    assert cfg.counter_cache.mode is CounterCacheMode.WRITE_BACK
+    assert cfg.counter_cache.battery_backed is True
+    assert cfg.counter_placement is CounterPlacementPolicy.SINGLE_BANK
+    assert cfg.cwc_enabled is False
+
+
+def test_wt_base_is_write_through_single_bank():
+    cfg = scheme_config(Scheme.WT_BASE)
+    assert cfg.counter_cache.mode is CounterCacheMode.WRITE_THROUGH
+    assert cfg.counter_cache.battery_backed is False
+    assert cfg.counter_placement is CounterPlacementPolicy.SINGLE_BANK
+    assert cfg.cwc_enabled is False
+
+
+def test_wt_cwc_adds_coalescing_only():
+    cfg = scheme_config(Scheme.WT_CWC)
+    assert cfg.cwc_enabled is True
+    assert cfg.counter_placement is CounterPlacementPolicy.SINGLE_BANK
+
+
+def test_wt_xbank_adds_placement_only():
+    cfg = scheme_config(Scheme.WT_XBANK)
+    assert cfg.cwc_enabled is False
+    assert cfg.counter_placement is CounterPlacementPolicy.XBANK
+
+
+def test_supermem_combines_both():
+    cfg = scheme_config(Scheme.SUPERMEM)
+    assert cfg.cwc_enabled is True
+    assert cfg.counter_placement is CounterPlacementPolicy.XBANK
+    assert cfg.counter_cache.mode is CounterCacheMode.WRITE_THROUGH
+
+
+def test_base_geometry_is_preserved():
+    base = SimConfig(memory=MemoryConfig(capacity=16 << 20, write_queue_entries=64))
+    for scheme in EVALUATED_SCHEMES:
+        cfg = scheme_config(scheme, base)
+        assert cfg.memory.capacity == 16 << 20
+        assert cfg.memory.write_queue_entries == 64
+
+
+def test_counter_cache_geometry_preserved():
+    base = SimConfig()
+    for scheme in EVALUATED_SCHEMES[1:]:
+        cfg = scheme_config(scheme, base)
+        assert cfg.counter_cache.size == base.counter_cache.size
+        assert cfg.counter_cache.assoc == base.counter_cache.assoc

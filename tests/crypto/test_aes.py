@@ -1,0 +1,76 @@
+"""AES-128 correctness against FIPS-197 test vectors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.crypto.aes import AES128
+
+
+def test_fips197_appendix_b_vector():
+    """FIPS-197 Appendix B worked example."""
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+    assert AES128(key).encrypt_block(plaintext) == expected
+
+
+def test_fips197_appendix_c_vector():
+    """FIPS-197 Appendix C.1 (key 000102...0f)."""
+    key = bytes(range(16))
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    cipher = AES128(key)
+    assert cipher.encrypt_block(plaintext) == expected
+    assert cipher.decrypt_block(expected) == plaintext
+
+
+def test_decrypt_inverts_encrypt():
+    cipher = AES128(b"0123456789abcdef")
+    block = bytes(range(16))
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_different_keys_differ():
+    block = bytes(16)
+    a = AES128(b"A" * 16).encrypt_block(block)
+    b = AES128(b"B" * 16).encrypt_block(block)
+    assert a != b
+
+
+def test_encryption_not_identity():
+    cipher = AES128(b"k" * 16)
+    block = bytes(16)
+    assert cipher.encrypt_block(block) != block
+
+
+def test_wrong_key_length_rejected():
+    with pytest.raises(ConfigError):
+        AES128(b"short")
+    with pytest.raises(ConfigError):
+        AES128(b"x" * 32)
+
+
+def test_wrong_block_length_rejected():
+    cipher = AES128(b"k" * 16)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"tiny")
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"y" * 17)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.binary(min_size=16, max_size=16),
+    st.binary(min_size=16, max_size=16),
+)
+def test_property_roundtrip(key, block):
+    cipher = AES128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.binary(min_size=16, max_size=16))
+def test_property_deterministic(block):
+    cipher = AES128(b"deterministickey")
+    assert cipher.encrypt_block(block) == cipher.encrypt_block(block)

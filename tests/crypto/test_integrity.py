@@ -1,0 +1,138 @@
+"""Tests for the memory-authentication extension (MACs + Merkle tree)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError, SecurityError
+from repro.crypto.integrity import IntegrityEngine, LineMAC, MerkleCounterTree
+
+CT = bytes(range(64))
+
+
+class TestLineMAC:
+    def test_verify_roundtrip(self):
+        mac = LineMAC(b"key")
+        tag = mac.compute(5, 7, CT)
+        assert mac.verify(5, 7, CT, tag)
+
+    def test_ciphertext_tamper_detected(self):
+        mac = LineMAC(b"key")
+        tag = mac.compute(5, 7, CT)
+        tampered = bytes([CT[0] ^ 1]) + CT[1:]
+        assert not mac.verify(5, 7, tampered, tag)
+
+    def test_replay_with_old_counter_detected(self):
+        """The MAC binds the counter: replaying stale (ct, mac) fails once
+        the counter has advanced."""
+        mac = LineMAC(b"key")
+        old_tag = mac.compute(5, 7, CT)
+        assert not mac.verify(5, 8, CT, old_tag)
+
+    def test_relocation_detected(self):
+        mac = LineMAC(b"key")
+        tag = mac.compute(5, 7, CT)
+        assert not mac.verify(6, 7, CT, tag)
+
+    def test_key_matters(self):
+        tag = LineMAC(b"key-a").compute(1, 1, CT)
+        assert not LineMAC(b"key-b").verify(1, 1, CT, tag)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigError):
+            LineMAC(b"")
+
+
+class TestMerkleCounterTree:
+    def test_rounds_up_to_power_of_two(self):
+        assert MerkleCounterTree(5).n_leaves == 8
+        assert MerkleCounterTree(8).n_leaves == 8
+        assert MerkleCounterTree(1).n_leaves == 1
+
+    def test_update_changes_root(self):
+        tree = MerkleCounterTree(8)
+        before = tree.root
+        tree.update_leaf(3, b"block-image")
+        assert tree.root != before
+
+    def test_same_content_same_root(self):
+        a, b = MerkleCounterTree(8), MerkleCounterTree(8)
+        for i in range(8):
+            a.update_leaf(i, bytes([i]) * 64)
+            b.update_leaf(i, bytes([i]) * 64)
+        assert a.root == b.root
+
+    def test_audit_path_verifies(self):
+        tree = MerkleCounterTree(8)
+        image = b"counter-block-3"
+        tree.update_leaf(3, image)
+        path = tree.audit_path(3)
+        assert len(path) == tree.depth
+        assert MerkleCounterTree.verify_path(image, path, tree.root)
+
+    def test_audit_path_rejects_tampered_leaf(self):
+        tree = MerkleCounterTree(8)
+        tree.update_leaf(3, b"honest")
+        path = tree.audit_path(3)
+        assert not MerkleCounterTree.verify_path(b"forged", path, tree.root)
+
+    def test_invalid_index_rejected(self):
+        tree = MerkleCounterTree(4)
+        with pytest.raises(ConfigError):
+            tree.update_leaf(4, b"x")
+        with pytest.raises(ConfigError):
+            tree.audit_path(-1)
+
+    def test_zero_leaves_rejected(self):
+        with pytest.raises(ConfigError):
+            MerkleCounterTree(0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.binary(min_size=1, max_size=64),
+    )
+    def test_property_every_leaf_verifies_after_updates(self, index, image):
+        tree = MerkleCounterTree(16)
+        tree.update_leaf(index, image)
+        assert MerkleCounterTree.verify_path(
+            image, tree.audit_path(index), tree.root
+        )
+
+
+class TestIntegrityEngine:
+    def test_honest_read_verifies(self):
+        engine = IntegrityEngine(n_counter_blocks=16)
+        engine.on_write(0, 1, CT, block_key=0, block_image=b"blk")
+        engine.verify_read(0, 1, CT)  # no raise
+
+    def test_tampered_read_raises(self):
+        engine = IntegrityEngine(n_counter_blocks=16)
+        engine.on_write(0, 1, CT)
+        with pytest.raises(SecurityError):
+            engine.verify_read(0, 1, bytes(64))
+
+    def test_replay_raises(self):
+        engine = IntegrityEngine(n_counter_blocks=16)
+        engine.on_write(0, 1, CT)
+        engine.on_write(0, 2, bytes(reversed(CT)))  # newer version
+        with pytest.raises(SecurityError):
+            engine.verify_read(0, 1, CT)  # replay of version 1
+
+    def test_unknown_line_raises(self):
+        engine = IntegrityEngine(n_counter_blocks=16)
+        with pytest.raises(SecurityError):
+            engine.verify_read(99, 0, CT)
+
+    def test_counter_block_verification(self):
+        engine = IntegrityEngine(n_counter_blocks=16)
+        engine.on_write(0, 1, CT, block_key=2, block_image=b"honest-block")
+        engine.verify_counter_block(2, b"honest-block")
+        with pytest.raises(SecurityError):
+            engine.verify_counter_block(2, b"tampered-block")
+
+    def test_work_counters(self):
+        engine = IntegrityEngine(n_counter_blocks=16)
+        engine.on_write(0, 1, CT, block_key=0, block_image=b"b")
+        engine.verify_read(0, 1, CT)
+        assert engine.mac_computations == 2
+        assert engine.tree_updates == 1

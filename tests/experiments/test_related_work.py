@@ -1,0 +1,36 @@
+"""Tests for the related-work comparison experiment."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.experiments import related_work
+
+
+@pytest.mark.slow
+def test_runtime_rows_cover_all_schemes():
+    rows = related_work.run_runtime("smoke")
+    assert [r.scheme for r in rows] == list(related_work.COMPARED)
+    by_scheme = {r.scheme: r for r in rows}
+    # SuperMem must beat the WT baseline on latency and writes.
+    assert (
+        by_scheme[Scheme.SUPERMEM].avg_latency_ns
+        < by_scheme[Scheme.WT_BASE].avg_latency_ns
+    )
+    assert by_scheme[Scheme.SUPERMEM].nvm_writes < by_scheme[Scheme.WT_BASE].nvm_writes
+
+
+def test_recovery_rows_scale_linearly():
+    rows = related_work.run_recovery(written_line_counts=(32, 128))
+    assert rows[0].supermem_trials == 0
+    assert rows[1].supermem_trials == 0
+    assert rows[1].osiris_trials > 3 * rows[0].osiris_trials
+
+
+@pytest.mark.slow
+def test_render():
+    text = related_work.render(
+        related_work.run_runtime("smoke"),
+        related_work.run_recovery(written_line_counts=(32,)),
+    )
+    assert "Related work" in text
+    assert "Osiris" in text and "SCA" in text

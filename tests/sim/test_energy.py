@@ -1,0 +1,72 @@
+"""Tests for the energy-accounting extension."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.sim.energy import EnergyBreakdown, EnergyModel, energy_of
+from repro.sim.simulator import simulate_workload
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for scheme in (Scheme.UNSEC, Scheme.WT_BASE, Scheme.SUPERMEM):
+        out[scheme] = simulate_workload(
+            "array", scheme, n_ops=40, request_size=1024, footprint=1 << 20
+        )
+    return out
+
+
+def test_breakdown_totals(results):
+    breakdown = energy_of(results[Scheme.SUPERMEM])
+    assert breakdown.total_nj > 0
+    assert breakdown.total_nj == pytest.approx(
+        breakdown.nvm_reads_nj
+        + breakdown.nvm_writes_nj
+        + breakdown.aes_nj
+        + breakdown.sram_nj
+    )
+    assert breakdown.total_uj == pytest.approx(breakdown.total_nj / 1000)
+
+
+def test_writes_dominate_energy(results):
+    """PCM's expensive writes must dominate a write-heavy workload."""
+    breakdown = energy_of(results[Scheme.SUPERMEM])
+    assert breakdown.nvm_writes_nj > breakdown.nvm_reads_nj
+    assert breakdown.nvm_writes_nj > 0.5 * breakdown.total_nj
+
+
+def test_wt_costs_more_energy_than_unsec(results):
+    wt = energy_of(results[Scheme.WT_BASE]).total_nj
+    unsec = energy_of(results[Scheme.UNSEC]).total_nj
+    assert wt > 1.5 * unsec
+
+
+def test_supermem_recovers_most_of_the_energy(results):
+    wt = energy_of(results[Scheme.WT_BASE]).total_nj
+    supermem = energy_of(results[Scheme.SUPERMEM]).total_nj
+    unsec = energy_of(results[Scheme.UNSEC]).total_nj
+    assert unsec < supermem < wt
+    # SuperMem recovers at least half of WT's energy overhead.
+    assert (wt - supermem) / (wt - unsec) > 0.5
+
+
+def test_unsec_has_no_aes_energy(results):
+    assert energy_of(results[Scheme.UNSEC]).aes_nj == 0
+
+
+def test_custom_model_scales(results):
+    base = energy_of(results[Scheme.SUPERMEM])
+    doubled = energy_of(
+        results[Scheme.SUPERMEM],
+        EnergyModel(write_nj=2 * 16.82),
+    )
+    assert doubled.nvm_writes_nj == pytest.approx(2 * base.nvm_writes_nj)
+
+
+def test_format_readable():
+    text = EnergyBreakdown(
+        nvm_reads_nj=100.0, nvm_writes_nj=800.0, aes_nj=50.0, sram_nj=50.0
+    ).format()
+    assert "total: 1.00 uJ" in text
+    assert "80.0%" in text

@@ -1,0 +1,76 @@
+"""Tests for the SimResult record."""
+
+import pytest
+
+from repro.common.stats import Stats
+from repro.sim.metrics import SimResult
+
+
+def make_result(counters=None):
+    stats = Stats()
+    for (space, name), value in (counters or {}).items():
+        stats.set(space, name, value)
+    return SimResult(total_time_ns=1000.0, txn_latencies=[100.0, 200.0, 300.0], stats=stats)
+
+
+def test_latency_aggregates():
+    r = make_result()
+    assert r.n_txns == 3
+    assert r.avg_txn_latency_ns == 200.0
+    assert r.p99_txn_latency_ns == 300.0
+
+
+def test_empty_latencies():
+    r = SimResult(total_time_ns=0.0)
+    assert r.n_txns == 0
+    assert r.avg_txn_latency_ns == 0.0
+    assert r.p99_txn_latency_ns == 0.0
+
+
+def test_write_traffic_properties():
+    r = make_result({
+        ("wq", "appends"): 100,
+        ("wq", "data_appends"): 60,
+        ("wq", "counter_appends"): 40,
+        ("wq", "cwc_coalesced"): 25,
+    })
+    assert r.nvm_writes == 100
+    assert r.data_writes == 60
+    assert r.counter_writes == 40
+    assert r.coalesced_counter_writes == 25
+    assert r.surviving_writes == 75
+
+
+def test_counter_cache_hit_rate():
+    r = make_result({("cc", "hits"): 8, ("cc", "accesses"): 10})
+    assert r.counter_cache_hit_rate == pytest.approx(0.8)
+
+
+def test_hit_rate_without_accesses():
+    r = make_result()
+    assert r.counter_cache_hit_rate == 0.0
+
+
+def test_read_path_hit_rate():
+    r = make_result({("cc", "read_hits"): 3, ("cc", "read_accesses"): 4})
+    assert r.counter_cache_read_hit_rate == pytest.approx(0.75)
+
+
+def test_stall_ns():
+    r = make_result({("wq", "stall_ns"): 123.0})
+    assert r.wq_stall_ns == 123.0
+
+
+def test_summary_mentions_key_numbers():
+    r = make_result({
+        ("wq", "appends"): 10,
+        ("wq", "data_appends"): 6,
+        ("wq", "counter_appends"): 4,
+        ("wq", "cwc_coalesced"): 2,
+        ("cc", "hits"): 1,
+        ("cc", "accesses"): 2,
+    })
+    text = r.summary()
+    assert "txns=3" in text
+    assert "writes=8" in text
+    assert "50.00%" in text

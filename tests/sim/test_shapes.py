@@ -1,0 +1,110 @@
+"""Regression guards for the paper's headline result shapes.
+
+These are the claims of the abstract and Section 5, asserted with loose
+bounds so they pin *shape*, not noise:
+
+* WT costs ~2x Unsec in transaction latency (1.5-3x guard);
+* SuperMem is within ~15 % of the ideal WB scheme;
+* WT issues 2x the NVM writes of Unsec at every transaction size;
+* SuperMem's write reduction vs WT grows with transaction size and
+  reaches ~45 % or more at 4 KB;
+* WT+CWC and WT+XBank each individually beat WT;
+* with 8 programs (every bank busy) CWC's relative benefit meets or
+  exceeds XBank's — the paper's Figure 14 observation.
+"""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.sim.multicore import simulate_multiprogrammed
+from repro.sim.simulator import simulate_workload
+
+N_OPS = 80
+FOOTPRINT = 4 << 20
+
+
+def run(workload, scheme, size=1024, **kw):
+    return simulate_workload(
+        workload,
+        scheme,
+        n_ops=N_OPS,
+        request_size=size,
+        footprint=FOOTPRINT,
+        seed=1,
+        **kw,
+    )
+
+
+@pytest.mark.parametrize("workload", ["array", "queue", "hashtable"])
+def test_wt_costs_about_2x(workload):
+    unsec = run(workload, Scheme.UNSEC)
+    wt = run(workload, Scheme.WT_BASE)
+    ratio = wt.avg_txn_latency_ns / unsec.avg_txn_latency_ns
+    assert 1.5 < ratio < 3.2
+
+
+@pytest.mark.parametrize("workload", ["array", "queue", "btree"])
+def test_supermem_close_to_ideal_wb(workload):
+    wb = run(workload, Scheme.WB_IDEAL)
+    supermem = run(workload, Scheme.SUPERMEM)
+    assert supermem.avg_txn_latency_ns <= 1.15 * wb.avg_txn_latency_ns
+
+
+@pytest.mark.parametrize("size", [256, 1024, 4096])
+def test_wt_doubles_write_traffic(size):
+    unsec = run("array", Scheme.UNSEC, size=size)
+    wt = run("array", Scheme.WT_BASE, size=size)
+    ratio = wt.surviving_writes / unsec.surviving_writes
+    assert 1.9 < ratio < 2.1
+
+
+def test_write_reduction_grows_with_txn_size():
+    reductions = []
+    for size in (256, 1024, 4096):
+        wt = run("array", Scheme.WT_BASE, size=size)
+        sm = run("array", Scheme.SUPERMEM, size=size)
+        reductions.append(
+            (wt.surviving_writes - sm.surviving_writes) / wt.surviving_writes
+        )
+    assert reductions[0] < reductions[1] < reductions[2]
+    assert reductions[2] > 0.44
+
+
+def test_cwc_and_xbank_each_beat_wt():
+    wt = run("array", Scheme.WT_BASE)
+    cwc = run("array", Scheme.WT_CWC)
+    xbank = run("array", Scheme.WT_XBANK)
+    assert cwc.avg_txn_latency_ns < 0.9 * wt.avg_txn_latency_ns
+    assert xbank.avg_txn_latency_ns < 0.9 * wt.avg_txn_latency_ns
+
+
+def test_unsec_has_no_counter_traffic():
+    unsec = run("queue", Scheme.UNSEC)
+    assert unsec.counter_writes == 0
+
+
+def test_wb_counter_traffic_is_small():
+    """The ideal WB baseline adds only a few % of writes (Fig. 15)."""
+    unsec = run("queue", Scheme.UNSEC)
+    wb = run("queue", Scheme.WB_IDEAL)
+    assert wb.surviving_writes <= 1.2 * unsec.surviving_writes
+
+
+@pytest.mark.slow
+def test_multicore_cwc_at_least_matches_xbank():
+    """Figure 14: with 8 programs all banks are busy, so coalescing
+    (fewer writes) helps at least as much as spreading (XBank)."""
+    cwc = simulate_multiprogrammed(
+        "hashtable", Scheme.WT_CWC, n_programs=8, n_ops=30, request_size=1024, seed=1
+    )
+    xbank = simulate_multiprogrammed(
+        "hashtable", Scheme.WT_XBANK, n_programs=8, n_ops=30, request_size=1024, seed=1
+    )
+    assert cwc.avg_txn_latency_ns <= 1.05 * xbank.avg_txn_latency_ns
+
+
+def test_deterministic_given_seed():
+    a = run("rbtree", Scheme.SUPERMEM)
+    b = run("rbtree", Scheme.SUPERMEM)
+    assert a.avg_txn_latency_ns == b.avg_txn_latency_ns
+    assert a.surviving_writes == b.surviving_writes

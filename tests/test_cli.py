@@ -1,0 +1,117 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_list_names_all_experiments():
+    proc = run_cli("list")
+    assert proc.returncode == 0
+    for name in EXPERIMENTS:
+        assert name in proc.stdout
+
+
+def test_run_table1():
+    proc = run_cli("run", "table1")
+    assert proc.returncode == 0
+    assert "Table 1" in proc.stdout
+    assert "SuperMem" in proc.stdout
+
+
+def test_run_unknown_experiment_fails():
+    proc = run_cli("run", "fig99")
+    assert proc.returncode != 0
+
+
+def test_run_requires_subcommand():
+    proc = run_cli()
+    assert proc.returncode != 0
+
+
+def test_output_file(tmp_path):
+    out = tmp_path / "t1.md"
+    assert main(["run", "table1", "--output", str(out)]) == 0
+    assert "Table 1" in out.read_text()
+
+
+def test_in_process_main_list(capsys):
+    assert main(["list"]) == 0
+    captured = capsys.readouterr()
+    assert "fig13" in captured.out
+
+
+def test_trace_generate_and_summarise(tmp_path, capsys):
+    out = tmp_path / "q.smtr"
+    assert (
+        main(
+            [
+                "trace",
+                "queue",
+                "--ops",
+                "10",
+                "--request-size",
+                "256",
+                "--footprint",
+                "65536",
+                "--output",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    assert out.exists()
+    capsys.readouterr()
+    assert main(["trace", str(out), "--summary"]) == 0
+    captured = capsys.readouterr()
+    assert "transactions: 10" in captured.out
+
+
+def test_simulate_command(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "array",
+                "--scheme",
+                "supermem",
+                "--ops",
+                "10",
+                "--footprint",
+                "262144",
+                "--profile",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "SuperMem" in captured.out
+    assert "bank imbalance" in captured.out
+
+
+def test_simulate_unknown_scheme_fails():
+    with pytest.raises(SystemExit):
+        main(["simulate", "array", "--scheme", "rot13"])
+
+
+def test_run_with_json_export(tmp_path, capsys):
+    import json
+
+    md = tmp_path / "t1.md"
+    js = tmp_path / "t1.json"
+    assert main(["run", "table1", "--output", str(md), "--json", str(js)]) == 0
+    payload = json.loads(js.read_text())
+    assert payload["experiment"] == "table1"
+    assert any(p["system"] == "supermem" for p in payload["points"])

@@ -1,0 +1,147 @@
+"""Tests for redo logging and its crash semantics."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import MemoryConfig, SimConfig
+from repro.common.errors import CrashInjected, SimulationError
+from repro.core.crash import CrashController
+from repro.core.recovery import RecoveredSystem
+from repro.core.schemes import Scheme, scheme_config
+from repro.core.system import SecureMemorySystem
+from repro.txn.log import KIND_REDO, LogEntry, LogRegion, STATE_COMMITTED
+from repro.txn.persist import DirectDomain, OP_CLWB, TraceDomain
+from repro.txn.transaction import TransactionManager, recover_data_view
+
+LOG = LogRegion(0, 64 * 64)
+DATA_BASE = 8 * 4096
+OLD = bytes([0xAA]) * 256
+NEW = bytes([0xBB]) * 256
+DATA_LINES = list(range(DATA_BASE // 64, DATA_BASE // 64 + 4))
+
+
+def make_redo():
+    cfg = scheme_config(
+        Scheme.SUPERMEM, SimConfig(memory=MemoryConfig(capacity=8 << 20))
+    )
+    crash = CrashController()
+    system = SecureMemorySystem(cfg, crash=crash)
+    domain = DirectDomain(system)
+    manager = TransactionManager(
+        domain, LogRegion(0, 64 * 64), crash=crash, logging_mode="redo"
+    )
+    return manager, domain, system
+
+
+def seed(manager):
+    manager.domain.store(DATA_BASE, len(OLD), OLD)
+    manager.domain.clwb(DATA_BASE, len(OLD))
+    manager.domain.sfence()
+
+
+def recover(manager, system):
+    image = system.crash()
+    recovered = RecoveredSystem(image)
+    report = recover_data_view(recovered, manager.log, DATA_LINES)
+    return b"".join(report.view[line] for line in DATA_LINES), report
+
+
+class TestHeaderFormat:
+    def test_redo_kind_roundtrip(self):
+        entry = LogEntry(txn_id=1, target_addr=0, length=64, kind=KIND_REDO)
+        parsed = LogEntry.parse_header(entry.header_bytes())
+        assert parsed.kind == KIND_REDO
+
+    def test_committed_state_roundtrip(self):
+        entry = LogEntry(
+            txn_id=1, target_addr=0, length=64, state=STATE_COMMITTED, kind=KIND_REDO
+        )
+        parsed = LogEntry.parse_header(entry.header_bytes())
+        assert parsed.state == STATE_COMMITTED
+
+
+class TestRedoProtocol:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            TransactionManager(TraceDomain(), LOG, logging_mode="wal")
+
+    def test_committed_transaction_applies(self):
+        manager, domain, system = make_redo()
+        seed(manager)
+        manager.run([(DATA_BASE, 256, NEW)])
+        assert domain.load(DATA_BASE, 256) == NEW
+        value, report = recover(manager, system)
+        assert value == NEW
+
+    def test_crash_before_commit_record_keeps_old(self):
+        manager, domain, system = make_redo()
+        seed(manager)
+        manager.crash_ctl.arm("txn-after-prepare")
+        with pytest.raises(CrashInjected):
+            manager.run([(DATA_BASE, 256, NEW)])
+        value, report = recover(manager, system)
+        assert value == OLD
+        assert report.undone == []  # nothing to roll forward
+
+    def test_crash_after_commit_record_rolls_forward(self):
+        """The redo durability point: commit record durable, data not yet
+        written in place — recovery must produce NEW."""
+        manager, domain, system = make_redo()
+        seed(manager)
+        manager.crash_ctl.arm("txn-after-commit-record")
+        with pytest.raises(CrashInjected):
+            manager.run([(DATA_BASE, 256, NEW)])
+        value, report = recover(manager, system)
+        assert value == NEW
+        assert len(report.undone) == 1
+
+    def test_crash_mid_apply_rolls_forward(self):
+        manager, domain, system = make_redo()
+        seed(manager)
+        manager.crash_ctl.arm("txn-after-mutate")
+        with pytest.raises(CrashInjected):
+            manager.run([(DATA_BASE, 256, NEW)])
+        value, _ = recover(manager, system)
+        assert value == NEW
+
+    def test_crash_after_retire_keeps_new(self):
+        manager, domain, system = make_redo()
+        seed(manager)
+        manager.crash_ctl.arm("txn-after-commit")
+        with pytest.raises(CrashInjected):
+            manager.run([(DATA_BASE, 256, NEW)])
+        value, report = recover(manager, system)
+        assert value == NEW
+        assert report.undone == []  # already invalidated
+
+
+class TestUndoVsRedoTraffic:
+    def test_redo_skips_old_data_reads(self):
+        """Redo logs the new data it already has: no old-data loads in
+        prepare, but one extra header rewrite (the commit record)."""
+        undo_domain = TraceDomain()
+        TransactionManager(undo_domain, LogRegion(0, 64 * 64)).run(
+            [(DATA_BASE, 256, None)]
+        )
+        redo_domain = TraceDomain()
+        TransactionManager(
+            redo_domain, LogRegion(0, 64 * 64), logging_mode="redo"
+        ).run([(DATA_BASE, 256, None)])
+        undo_clwbs = sum(1 for op in undo_domain.ops if op[0] == OP_CLWB)
+        redo_clwbs = sum(1 for op in redo_domain.ops if op[0] == OP_CLWB)
+        assert redo_clwbs == undo_clwbs + 1  # the commit record
+
+    def test_both_modes_commit_functionally(self):
+        for mode in ("undo", "redo"):
+            cfg = scheme_config(
+                Scheme.SUPERMEM, SimConfig(memory=MemoryConfig(capacity=8 << 20))
+            )
+            system = SecureMemorySystem(cfg)
+            domain = DirectDomain(system)
+            manager = TransactionManager(
+                domain, LogRegion(0, 64 * 64), logging_mode=mode
+            )
+            seed(manager)
+            manager.run([(DATA_BASE, 256, NEW)])
+            assert domain.load(DATA_BASE, 256) == NEW, mode

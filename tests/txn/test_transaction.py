@@ -1,0 +1,212 @@
+"""Tests for durable transactions: stages, traces, and Table 1 recovery."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.address import CACHE_LINE_SIZE
+from repro.common.config import (
+    CounterCacheConfig,
+    CounterCacheMode,
+    MemoryConfig,
+    SimConfig,
+)
+from repro.common.errors import CrashInjected, SimulationError
+from repro.core.crash import CrashController
+from repro.core.recovery import RecoveredSystem
+from repro.core.schemes import Scheme, scheme_config
+from repro.core.system import SecureMemorySystem
+from repro.txn.log import LogRegion
+from repro.txn.persist import (
+    DirectDomain,
+    OP_CLWB,
+    OP_FENCE,
+    OP_TXN_BEGIN,
+    OP_TXN_END,
+    TraceDomain,
+)
+from repro.txn.transaction import TransactionManager, recover_data_view
+
+LOG_BASE = 0
+LOG_SIZE = 64 * 64  # one page of log
+DATA_BASE = 4096 * 4  # data at page 4
+
+OLD = bytes([0xAA] * 256)
+NEW = bytes([0xBB] * 256)
+
+
+def make_direct(scheme=Scheme.SUPERMEM, **overrides):
+    base = SimConfig(memory=MemoryConfig(capacity=8 << 20))
+    cfg = dataclasses.replace(scheme_config(scheme, base), **overrides)
+    crash = CrashController()
+    system = SecureMemorySystem(cfg, crash=crash)
+    domain = DirectDomain(system)
+    mgr = TransactionManager(domain, LogRegion(LOG_BASE, LOG_SIZE), crash=crash)
+    return mgr, domain, system
+
+
+def seed_old_data(mgr):
+    """Persist the initial OLD value outside any transaction."""
+    mgr.domain.store(DATA_BASE, len(OLD), OLD)
+    mgr.domain.clwb(DATA_BASE, len(OLD))
+    mgr.domain.sfence()
+
+
+class TestTraceShape:
+    def test_transaction_emits_expected_op_sequence(self):
+        domain = TraceDomain()
+        mgr = TransactionManager(domain, LogRegion(LOG_BASE, LOG_SIZE))
+        mgr.run([(DATA_BASE, 256, None)])
+        kinds = [op[0] for op in domain.ops]
+        assert kinds[0] == OP_TXN_BEGIN
+        assert kinds[-1] == OP_TXN_END
+        # prepare has two fences (payload-before-header ordering), then
+        # one each after mutate and commit.
+        assert kinds.count(OP_FENCE) == 4
+        # log: 4 payload + 1 header lines; data: 4 lines; commit: 1 line
+        assert kinds.count(OP_CLWB) == 5 + 4 + 1
+
+    def test_write_set_of_two(self):
+        domain = TraceDomain()
+        mgr = TransactionManager(domain, LogRegion(LOG_BASE, LOG_SIZE))
+        mgr.run([(DATA_BASE, 64, None), (DATA_BASE + 4096, 64, None)])
+        kinds = [op[0] for op in domain.ops]
+        # two log entries (2 lines each), two data lines, two commit lines
+        assert kinds.count(OP_CLWB) == 4 + 2 + 2
+
+    def test_txn_ids_increment(self):
+        domain = TraceDomain()
+        mgr = TransactionManager(domain, LogRegion(LOG_BASE, LOG_SIZE))
+        assert mgr.run([(DATA_BASE, 64, None)]) == 1
+        assert mgr.run([(DATA_BASE, 64, None)]) == 2
+        assert mgr.stats.committed == 2
+
+    def test_empty_transaction_rejected(self):
+        mgr = TransactionManager(TraceDomain(), LogRegion(LOG_BASE, LOG_SIZE))
+        with pytest.raises(SimulationError):
+            mgr.run([])
+
+
+class TestCommittedTransaction:
+    def test_data_updated_and_log_invalidated(self):
+        mgr, domain, system = make_direct()
+        seed_old_data(mgr)
+        mgr.run([(DATA_BASE, 256, NEW)])
+        assert domain.load(DATA_BASE, 256) == NEW
+        image = system.crash()
+        recovered = RecoveredSystem(image)
+        data_lines = list(range(DATA_BASE // 64, DATA_BASE // 64 + 4))
+        report = recover_data_view(recovered, mgr.log, data_lines)
+        assert report.undone == []
+        assert len(report.committed) == 1
+        got = b"".join(report.view[line] for line in data_lines)
+        assert got == NEW
+
+
+class StageCrashMixin:
+    """Run one txn OLD->NEW, crash at a stage, recover, classify."""
+
+    def crash_and_recover(self, mgr, domain, system, stage, occurrence=1):
+        seed_old_data(mgr)
+        mgr.crash_ctl.arm(stage, occurrence=occurrence)
+        with pytest.raises(CrashInjected):
+            mgr.run([(DATA_BASE, 256, NEW)])
+        image = system.crash()
+        recovered = RecoveredSystem(image)
+        data_lines = list(range(DATA_BASE // 64, DATA_BASE // 64 + 4))
+        report = recover_data_view(recovered, mgr.log, data_lines)
+        got = b"".join(report.view[line] for line in data_lines)
+        return got, report
+
+
+class TestSuperMemStageCrashes(StageCrashMixin):
+    """Table 1, SuperMem column: every stage is recoverable."""
+
+    def test_crash_after_prepare_recovers_old(self):
+        mgr, domain, system = make_direct()
+        got, report = self.crash_and_recover(mgr, domain, system, "txn-after-prepare")
+        assert got == OLD
+        assert len(report.undone) == 1
+
+    def test_crash_after_mutate_recovers_old(self):
+        """Mutated but uncommitted: undo must restore the old value."""
+        mgr, domain, system = make_direct()
+        got, _ = self.crash_and_recover(mgr, domain, system, "txn-after-mutate")
+        assert got == OLD
+
+    def test_crash_after_commit_keeps_new(self):
+        mgr, domain, system = make_direct()
+        got, report = self.crash_and_recover(mgr, domain, system, "txn-after-commit")
+        assert got == NEW
+        assert report.undone == []
+
+    def test_crash_mid_mutate_recovers_old(self):
+        """Crash inside the mutate stage (some data lines flushed)."""
+        mgr, domain, system = make_direct()
+        seed_old_data(mgr)
+        # Occurrence counting restarts at arm: the transaction appends 5
+        # log pairs (prepare), then 4 data pairs (mutate), then 1 commit
+        # pair — occurrence 7 lands on the second mutate flush.
+        mgr.crash_ctl.arm("after-pair-append", occurrence=7)
+        with pytest.raises(CrashInjected):
+            mgr.run([(DATA_BASE, 256, NEW)])
+        image = system.crash()
+        recovered = RecoveredSystem(image)
+        data_lines = list(range(DATA_BASE // 64, DATA_BASE // 64 + 4))
+        report = recover_data_view(recovered, mgr.log, data_lines)
+        got = b"".join(report.view[line] for line in data_lines)
+        assert got == OLD
+
+
+class TestUnprotectedStageCrashes(StageCrashMixin):
+    """Table 1, unprotected column: a write-back counter cache without a
+    battery loses log/data counters, making mutate/commit unrecoverable."""
+
+    def make_unprotected(self):
+        base = SimConfig(
+            memory=MemoryConfig(capacity=8 << 20),
+            counter_cache=CounterCacheConfig(
+                size=256 << 10,
+                assoc=8,
+                latency_cycles=8,
+                mode=CounterCacheMode.WRITE_BACK,
+                battery_backed=False,
+            ),
+        )
+        crash = CrashController()
+        system = SecureMemorySystem(base, crash=crash)
+        domain = DirectDomain(system)
+        mgr = TransactionManager(domain, LogRegion(LOG_BASE, LOG_SIZE), crash=crash)
+        return mgr, domain, system
+
+    def test_crash_after_mutate_is_unrecoverable(self):
+        """The log content was flushed but its counters died in SRAM: the
+        log is undecryptable, so the mutated data cannot be undone."""
+        mgr, domain, system = self.make_unprotected()
+        got, report = self.crash_and_recover(mgr, domain, system, "txn-after-mutate")
+        assert got != OLD and got != NEW
+        assert report.undone == []  # the log entry could not even be parsed
+
+
+class TestRecoverDataViewEdgeCases:
+    def test_untouched_lines_pass_through(self):
+        mgr, domain, system = make_direct()
+        seed_old_data(mgr)
+        image = system.crash()
+        recovered = RecoveredSystem(image)
+        data_lines = list(range(DATA_BASE // 64, DATA_BASE // 64 + 4))
+        report = recover_data_view(recovered, mgr.log, data_lines)
+        assert b"".join(report.view[line] for line in data_lines) == OLD
+
+    def test_multiple_committed_transactions(self):
+        mgr, domain, system = make_direct()
+        seed_old_data(mgr)
+        payloads = [bytes([i] * 256) for i in range(1, 4)]
+        for payload in payloads:
+            mgr.run([(DATA_BASE, 256, payload)])
+        image = system.crash()
+        recovered = RecoveredSystem(image)
+        data_lines = list(range(DATA_BASE // 64, DATA_BASE // 64 + 4))
+        report = recover_data_view(recovered, mgr.log, data_lines)
+        assert b"".join(report.view[line] for line in data_lines) == payloads[-1]
+        assert report.undone == []

@@ -1,0 +1,99 @@
+"""Tests for the zipfian mixed workload and its sampler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.txn.log import LogRegion
+from repro.txn.persist import OP_LOAD, OP_TXN_BEGIN, TraceDomain
+from repro.txn.transaction import TransactionManager
+from repro.workloads.heap import PersistentHeap
+from repro.workloads.mixed import MixedWorkload, ZipfSampler
+
+
+class TestZipfSampler:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, theta=0)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(100)
+        rng = random.Random(1)
+        for _ in range(500):
+            assert 0 <= sampler.sample(rng) < 100
+
+    def test_skew_favors_low_ranks(self):
+        sampler = ZipfSampler(1000, theta=0.99)
+        rng = random.Random(7)
+        draws = [sampler.sample(rng) for _ in range(3000)]
+        top_ten = sum(1 for d in draws if d < 10)
+        assert top_ten > 0.25 * len(draws)  # heavy head
+
+    def test_uniform_ish_when_theta_small(self):
+        sampler = ZipfSampler(1000, theta=0.01)
+        rng = random.Random(7)
+        draws = [sampler.sample(rng) for _ in range(3000)]
+        top_ten = sum(1 for d in draws if d < 10)
+        assert top_ten < 0.10 * len(draws)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=200), st.integers(0, 10**6))
+    def test_property_always_valid_index(self, n, seed):
+        sampler = ZipfSampler(n)
+        rng = random.Random(seed)
+        assert 0 <= sampler.sample(rng) < n
+
+
+def make_mixed(read_ratio=None):
+    heap = PersistentHeap(capacity=16 << 20)
+    log_base = heap.alloc_pages(16)
+    manager = TransactionManager(TraceDomain(), LogRegion(log_base, 16 * 4096))
+    w = MixedWorkload(manager, heap, request_size=256, footprint=256 << 10, seed=5)
+    if read_ratio is not None:
+        w.read_ratio = read_ratio
+    w.setup()
+    return w, manager.domain
+
+
+class TestMixedWorkload:
+    def test_mix_of_reads_and_writes(self):
+        w, domain = make_mixed()
+        w.run_ops(100)
+        assert w.reads_done > 50
+        assert w.writes_done > 0
+        assert w.reads_done + w.writes_done == 100
+
+    def test_pure_read_workload(self):
+        w, domain = make_mixed(read_ratio=1.0)
+        domain.take_ops()
+        w.run_ops(20)
+        kinds = {op[0] for op in domain.ops}
+        assert kinds == {OP_LOAD}
+
+    def test_pure_write_workload(self):
+        w, domain = make_mixed(read_ratio=0.0)
+        domain.take_ops()
+        w.run_ops(10)
+        kinds = [op[0] for op in domain.ops]
+        assert kinds.count(OP_TXN_BEGIN) == 10
+
+    def test_registered_in_generator(self):
+        from repro.workloads.generator import generate_trace
+
+        trace = generate_trace("mixed", n_ops=10, request_size=256, footprint=64 << 10)
+        assert trace.workload_name == "mixed"
+        assert len(trace.ops) > 0
+
+    def test_simulates_end_to_end(self):
+        from repro.core.schemes import Scheme
+        from repro.sim.simulator import simulate_workload
+
+        result = simulate_workload(
+            "mixed", Scheme.SUPERMEM, n_ops=50, request_size=256, footprint=256 << 10
+        )
+        assert result.stats.get("cc", "accesses") > 0
+        # reads dominate: counter-cache hit rate should be high (hot keys)
+        assert result.counter_cache_hit_rate > 0.5

@@ -1,0 +1,158 @@
+"""Deeper structural tests of the workload data structures."""
+
+import pytest
+
+from repro.txn.log import LogRegion
+from repro.txn.persist import TraceDomain
+from repro.txn.transaction import TransactionManager
+from repro.workloads.btree import BTreeWorkload, INNER_FANOUT, _Inner, _Leaf
+from repro.workloads.hashtable import HashTableWorkload
+from repro.workloads.heap import PersistentHeap
+from repro.workloads.queue import QueueWorkload
+from repro.workloads.rbtree import RBTreeWorkload
+
+
+def make_stack():
+    heap = PersistentHeap(capacity=64 << 20)
+    log_base = heap.alloc_pages(16)
+    manager = TransactionManager(TraceDomain(), LogRegion(log_base, 16 * 4096))
+    return heap, manager
+
+
+class TestBTreeInternals:
+    def test_tree_grows_multiple_levels(self):
+        heap, manager = make_stack()
+        w = BTreeWorkload(manager, heap, request_size=256, footprint=4 << 20, seed=3)
+        w.setup()
+        w.run_ops(1500)
+        # With fanout 16 and order 16, 1000+ distinct keys force the root
+        # to become an inner node with inner children.
+        assert isinstance(w.root, _Inner)
+        depth = 0
+        node = w.root
+        while isinstance(node, _Inner):
+            depth += 1
+            node = node.children[0]
+        assert depth >= 2
+
+    def test_all_leaves_respect_order(self):
+        heap, manager = make_stack()
+        w = BTreeWorkload(manager, heap, request_size=256, footprint=1 << 20, seed=5)
+        w.setup()
+        w.run_ops(400)
+
+        def walk(node):
+            if isinstance(node, _Leaf):
+                assert len(node.keys) <= w.order
+                assert sorted(node.keys) == node.keys
+                assert set(node.slot_of) == set(node.keys)
+                return
+            assert len(node.children) == len(node.keys) + 1
+            for child in node.children:
+                walk(child)
+
+        walk(w.root)
+
+    def test_keys_route_correctly(self):
+        """Every stored key must be findable by descending the mirror."""
+        heap, manager = make_stack()
+        w = BTreeWorkload(manager, heap, request_size=256, footprint=256 << 10, seed=7)
+        w.setup()
+        w.run_ops(300)
+
+        stored = set()
+
+        def collect(node):
+            if isinstance(node, _Leaf):
+                stored.update(node.keys)
+                return
+            for child in node.children:
+                collect(child)
+
+        collect(w.root)
+        assert stored  # something was inserted
+
+        def find(key):
+            node = w.root
+            while isinstance(node, _Inner):
+                index = 0
+                while index < len(node.keys) and key >= node.keys[index]:
+                    index += 1
+                node = node.children[index]
+            return key in node.slot_of
+
+        missing = [key for key in stored if not find(key)]
+        assert not missing
+
+
+class TestQueueInternals:
+    def test_ring_wraps(self):
+        heap, manager = make_stack()
+        w = QueueWorkload(manager, heap, request_size=256, footprint=2 << 10, seed=1)
+        w.setup()
+        assert w.capacity == 8
+        w.run_ops(20)  # wraps twice
+        assert w.count == w.capacity
+        assert 0 <= w.head < w.capacity
+        assert 0 <= w.tail < w.capacity
+
+    def test_fifo_slots_cycle(self):
+        heap, manager = make_stack()
+        w = QueueWorkload(manager, heap, request_size=256, footprint=2 << 10, seed=1)
+        w.setup()
+        slots = []
+        for _ in range(16):
+            slots.append(w.tail)
+            w.run_op()
+        assert slots == [i % 8 for i in range(16)]
+
+
+class TestHashTableInternals:
+    def test_probe_chain_on_collision(self):
+        heap, manager = make_stack()
+        w = HashTableWorkload(manager, heap, request_size=256, footprint=8 << 10, seed=1)
+        w.setup()
+        # Force a collision: occupy a slot, then insert a key hashing there.
+        w.occupancy[3] = 777777
+        key = next(
+            k for k in range(10**6) if w._hash(k) == 3 and k != 777777
+        )
+        home = w._hash(key)
+        w.rng = type(w.rng)(0)  # irrelevant; we call internals directly
+        # replicate run_op's probe manually
+        slot = home
+        while w.occupancy.get(slot) not in (None, key):
+            slot = (slot + 1) % w.n_slots
+        assert slot != home  # probed past the occupied home
+
+    def test_steady_state_updates_not_growth(self):
+        heap, manager = make_stack()
+        w = HashTableWorkload(manager, heap, request_size=256, footprint=8 << 10, seed=2)
+        w.setup()
+        w.run_ops(200)
+        assert len(w.occupancy) <= w.MAX_LOAD_FACTOR * w.n_slots + 1
+
+
+class TestRBTreeInternals:
+    def test_black_height_bounded(self):
+        heap, manager = make_stack()
+        w = RBTreeWorkload(manager, heap, request_size=256, footprint=1 << 20, seed=3)
+        w.setup()
+        w.run_ops(500)
+        black_height = w.check_invariants()
+
+        def depth(node):
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        # RB property: path length <= 2 * black height.
+        assert depth(w.root) <= 2 * black_height
+
+    def test_root_always_black(self):
+        heap, manager = make_stack()
+        w = RBTreeWorkload(manager, heap, request_size=256, footprint=1 << 20, seed=4)
+        w.setup()
+        for _ in range(100):
+            w.run_op()
+            assert w.root.color is False  # BLACK
