@@ -152,6 +152,42 @@ def main(argv=None) -> int:
     sim_parser.add_argument(
         "--profile", action="store_true", help="print the bank/WQ profile"
     )
+    sim_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record an event trace and write Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    sim_parser.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="also write the event stream as compact JSONL",
+    )
+    sim_parser.add_argument(
+        "--sample-ns",
+        type=float,
+        default=None,
+        metavar="N",
+        help="sample gauges (WQ occupancy, bank busy fraction, cc hit rate) "
+        "every N simulated ns (implies tracing)",
+    )
+    sim_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the SimResult summary as JSON ('-' for stdout)",
+    )
+
+    report_parser = sub.add_parser(
+        "trace-report",
+        help="per-phase breakdown of a trace recorded with simulate --trace",
+    )
+    report_parser.add_argument("trace_file", help="Chrome trace JSON from --trace")
+    report_parser.add_argument(
+        "--buckets", type=int, default=12, help="number of time buckets (phases)"
+    )
 
     args = parser.parse_args(argv)
 
@@ -159,6 +195,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "trace-report":
+        return _cmd_trace_report(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:
@@ -206,7 +244,11 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    import json
+
     from repro.core.schemes import Scheme
+    from repro.obs import Tracer
+    from repro.obs.export import write_chrome_trace, write_jsonl
     from repro.sim.profiling import profile_run
     from repro.sim.simulator import simulate_workload
 
@@ -217,6 +259,9 @@ def _cmd_simulate(args) -> int:
             f"unknown scheme {args.scheme!r}; expected one of "
             f"{[s.value for s in Scheme]}"
         )
+    tracer = None
+    if args.trace or args.trace_jsonl or args.sample_ns is not None:
+        tracer = Tracer(sample_interval_ns=args.sample_ns)
     result = simulate_workload(
         args.workload,
         scheme,
@@ -224,11 +269,34 @@ def _cmd_simulate(args) -> int:
         request_size=args.request_size,
         footprint=args.footprint,
         seed=args.seed,
+        tracer=tracer,
     )
     print(f"{args.workload} under {scheme.label}: {result.summary()}")
     print(f"total time: {result.total_time_ns:.0f} ns")
     if args.profile:
         print(profile_run(result).format())
+    if tracer is not None and args.trace:
+        n_events = write_chrome_trace(tracer, args.trace)
+        print(f"wrote {args.trace}: {n_events} trace events", file=sys.stderr)
+    if tracer is not None and args.trace_jsonl:
+        n_events = write_jsonl(tracer, args.trace_jsonl)
+        print(f"wrote {args.trace_jsonl}: {n_events} events", file=sys.stderr)
+    if args.json:
+        payload = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+                fh.write("\n")
+            print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    from repro.obs.report import render_report_file
+
+    print(render_report_file(args.trace_file, n_buckets=args.buckets))
     return 0
 
 

@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.common.config import CounterCacheConfig, CounterCacheMode
 from repro.common.stats import Stats
 from repro.cache.sram import SetAssociativeCache
+from repro.obs.tracer import NULL_TRACER
 
 
 class CounterCache:
@@ -41,9 +42,10 @@ class CounterCache:
         Shared statistics registry; reports under namespace ``"cc"``.
     """
 
-    def __init__(self, config: CounterCacheConfig, stats: Stats):
+    def __init__(self, config: CounterCacheConfig, stats: Stats, tracer=NULL_TRACER):
         self.config = config
         self._stats = stats
+        self._tracer = tracer
         self._cache = SetAssociativeCache(config, stats, "cc")
 
     @property
@@ -58,7 +60,9 @@ class CounterCache:
     # Access paths
     # ------------------------------------------------------------------
 
-    def access(self, page: int, update: bool) -> tuple[bool, Optional[int], bool]:
+    def access(
+        self, page: int, update: bool, t: float = 0.0
+    ) -> tuple[bool, Optional[int], bool]:
         """Touch the counter line of ``page``.
 
         Parameters
@@ -68,6 +72,9 @@ class CounterCache:
         update:
             True when the access modifies the counters (a data write bumps
             a minor counter); False for read-path OTP generation.
+        t:
+            Simulated time of the access; used only for event tracing
+            (the cache itself is timing-free).
 
         Returns
         -------
@@ -86,6 +93,10 @@ class CounterCache:
         hit, evicted = self._cache.access(page, write=dirty)
         if update:
             self._stats.inc("cc", "updates")
+        if self._tracer.enabled:
+            self._tracer.cc_access(t, page, hit, update)
+            if evicted is not None:
+                self._tracer.cc_evict(t, evicted.line, evicted.dirty)
 
         writeback_page = None
         if evicted is not None and evicted.dirty:

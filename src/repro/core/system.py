@@ -48,6 +48,7 @@ from repro.memory.controller import MemoryController
 from repro.memory.layout import make_layout
 from repro.memory.nvm import ZERO_LINE
 from repro.memory.write_queue import WQEntry
+from repro.obs.tracer import NULL_TRACER
 
 
 def _line_mac(plaintext: bytes) -> bytes:
@@ -162,17 +163,27 @@ class SecureMemorySystem:
         stats: Optional[Stats] = None,
         crash: Optional[CrashController] = None,
         counter_organization: str = "split",
+        tracer=NULL_TRACER,
     ):
         self.config = config
         self.stats = stats if stats is not None else Stats()
+        self.tracer = tracer
         self.crash_ctl = crash if crash is not None else CrashController()
         self.amap: AddressMap = config.address_map()
-        self.controller = MemoryController(config, self.stats)
+        self.controller = MemoryController(config, self.stats, tracer=tracer)
         self.counters = CounterStore(
             organization=counter_organization,
             minor_bits=config.minor_counter_bits,
         )
-        self.counter_cache = CounterCache(config.counter_cache, self.stats)
+        self.counter_cache = CounterCache(
+            config.counter_cache, self.stats, tracer=tracer
+        )
+        if tracer.enabled:
+            tracer.register_gauge(
+                "cc.hit_rate",
+                lambda ts: self.stats.ratio("cc", "hits", "accesses"),
+                track="cc",
+            )
         self.layout = make_layout(
             config.counter_placement, self.amap, xbank_offset=config.xbank_offset
         )
@@ -235,6 +246,8 @@ class SecureMemorySystem:
             t, placement.line, bank=placement.bank, row=placement.row
         )
         self.stats.inc("secmem", "counter_fetches")
+        if self.tracer.enabled:
+            self.tracer.cc_fetch(t, placement.line)
         return result.finish_time
 
     # ------------------------------------------------------------------
@@ -280,7 +293,9 @@ class SecureMemorySystem:
                 raise SimulationError("minor counter overflowed after re-encryption")
 
         # 2. counter cache (read-modify-write of the counter line).
-        hit, writeback_page, fetch = self.counter_cache.access(block_key, update=True)
+        hit, writeback_page, fetch = self.counter_cache.access(
+            block_key, update=True, t=t
+        )
         if fetch:
             t = max(t, self._fetch_counter_line(t, line, block_key))
         if writeback_page is not None:
@@ -303,6 +318,8 @@ class SecureMemorySystem:
         # 3. OTP generation + encryption (AES pipeline latency).
         ciphertext = self._encrypt(line, payload)
         t_enc = t + self.config.timing.aes_ns
+        if self.tracer.enabled:
+            self.tracer.crypto(t, self.config.timing.aes_ns, "otp_write", line)
 
         # 4. persist.
         if self.counter_cache.write_through:
@@ -410,7 +427,9 @@ class SecureMemorySystem:
             )
 
         block_key = self.counters.block_key_of_line(line)
-        hit, writeback_page, fetch = self.counter_cache.access(block_key, update=False)
+        hit, writeback_page, fetch = self.counter_cache.access(
+            block_key, update=False, t=t
+        )
         # Read-path hit rate tracked separately: these are the hits that
         # decide whether OTP generation overlaps the data fetch (Fig. 2b),
         # i.e. the hit rate Figure 17a is about.
@@ -440,6 +459,8 @@ class SecureMemorySystem:
             )
 
         pad_ready = ctr_ready + self.config.timing.aes_ns
+        if self.tracer.enabled:
+            self.tracer.crypto(ctr_ready, self.config.timing.aes_ns, "otp_read", line)
         finish = max(data_result.finish_time, pad_ready)
 
         payload = None
@@ -504,6 +525,8 @@ class SecureMemorySystem:
                         line, block.encryption_counter(slot), plaintext
                     )
             t_enc = t + self.config.timing.aes_ns
+            if self.tracer.enabled:
+                self.tracer.crypto(t, self.config.timing.aes_ns, "otp_write", line)
             counter_entry = self._counter_entry(
                 line, page, payload_wanted=self.config.functional
             )
@@ -519,7 +542,7 @@ class SecureMemorySystem:
 
         # Write-back mode: the block image in the cache is now dirty.
         if not self.counter_cache.write_through:
-            self.counter_cache.access(page, update=True)
+            self.counter_cache.access(page, update=True, t=t)
         self.rsr = None
         return t
 

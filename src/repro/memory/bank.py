@@ -26,6 +26,7 @@ from typing import Deque, Optional, Tuple
 
 from repro.common.config import MemoryConfig, TimingConfig
 from repro.common.stats import Stats
+from repro.obs.tracer import NULL_TRACER
 
 
 class RankState:
@@ -56,12 +57,14 @@ class Bank:
         config: MemoryConfig,
         rank: RankState,
         stats: Stats,
+        tracer=NULL_TRACER,
     ):
         self.index = index
         self._timing = timing
         self._config = config
         self._rank = rank
         self._stats = stats
+        self._tracer = tracer
         #: Time at which the current operation (if any) completes.
         self.free_at: float = 0.0
         #: Open row for the read row-buffer model; None = closed.
@@ -92,6 +95,8 @@ class Bank:
         self.open_row = None
         self._stats.inc(self._ns, "writes")
         self._stats.inc(self._ns, "busy_ns", end - start)
+        if self._tracer.enabled:
+            self._tracer.bank_busy(start, end, self.index, "write")
         return end
 
     def service_read(self, start: float, row: int) -> Tuple[float, bool]:
@@ -118,6 +123,8 @@ class Bank:
             self.open_row = row
         self._stats.inc(self._ns, "reads")
         self._stats.inc(self._ns, "busy_ns", end - start)
+        if self._tracer.enabled:
+            self._tracer.bank_busy(start, end, self.index, "read", row_hit=hit)
         return end, hit
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.common.stats import Stats
 from repro.memory.bank import Bank, RankState
 from repro.memory.nvm import NVMStore
 from repro.memory.write_queue import WQEntry, WriteQueue
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -53,15 +54,17 @@ class MemoryController:
         config: SimConfig,
         stats: Stats,
         nvm: Optional[NVMStore] = None,
+        tracer=NULL_TRACER,
     ):
         self.config = config
         self.amap: AddressMap = config.address_map()
         self.timing = config.timing
         self._stats = stats
+        self._tracer = tracer
         self.nvm = nvm if nvm is not None else NVMStore(stats)
         self.rank = RankState(config.timing, enforce=config.memory.enforce_tfaw)
         self.banks: List[Bank] = [
-            Bank(i, config.timing, config.memory, self.rank, stats)
+            Bank(i, config.timing, config.memory, self.rank, stats, tracer=tracer)
             for i in range(config.memory.n_banks)
         ]
         self.wq = WriteQueue(
@@ -69,7 +72,24 @@ class MemoryController:
             stats=stats,
             cwc_enabled=config.cwc_enabled,
             cwc_policy=config.cwc_policy,
+            tracer=tracer,
         )
+        # Record the geometry so post-run analyses (profiling) can recover
+        # the bank count without re-threading the config. The "config"
+        # namespace is exempt from warmup counter resets.
+        stats.set("config", "n_banks", config.memory.n_banks)
+        if tracer.enabled:
+            tracer.register_gauge("wq.occupancy", lambda ts: len(self.wq))
+            for bank in self.banks:
+                tracer.register_gauge(
+                    f"bank.{bank.index}.busy_frac",
+                    (
+                        lambda ts, ns=f"bank.{bank.index}": (
+                            stats.get(ns, "busy_ns") / ts if ts > 0 else 0.0
+                        )
+                    ),
+                    track=f"bank.{bank.index}",
+                )
         #: Per-channel command-bus availability (request issue serialises
         #: within a channel; channels are independent). The paper's
         #: platform is single-channel, the default.
@@ -161,6 +181,10 @@ class MemoryController:
         self.bus_free_at[self._channel_of(entry.bank)] = start + self.timing.bus_ns
         end = self.banks[entry.bank].service_write(start)
         self.nvm.write_line(entry.line, entry.payload)
+        if self._tracer.enabled:
+            self._tracer.wq_issue(
+                start, entry.line, entry.bank, entry.is_counter, len(self.wq)
+            )
         self._stats.inc("wq", "issued")
         if entry.is_counter:
             self._stats.inc("wq", "counter_issued")
@@ -210,7 +234,7 @@ class MemoryController:
     # Append path (persistence domain entry)
     # ------------------------------------------------------------------
 
-    def _make_space(self, t: float, slots: int) -> float:
+    def _make_space(self, t: float, slots: int, core: int = 0) -> float:
         """Drain until ``slots`` queue slots are free; returns stall end."""
         append_time = t
         while not self.wq.has_space(slots):
@@ -225,6 +249,8 @@ class MemoryController:
         if append_time > t:
             self._stats.inc("wq", "full_stalls")
             self._stats.inc("wq", "stall_ns", append_time - t)
+            if self._tracer.enabled:
+                self._tracer.wq_stall(t, append_time - t, core)
         return append_time
 
     def append_write(
@@ -243,8 +269,9 @@ class MemoryController:
         writes pass their explicit placement from the layout.
         """
         self.advance_to(t)
+        self._tracer.sample_tick(t)
         slots = 0 if (is_counter and self.wq.would_coalesce(line)) else 1
-        append_time = self._make_space(t, slots) if slots else t
+        append_time = self._make_space(t, slots, core=core) if slots else t
         entry = WQEntry(
             line=line,
             bank=self.amap.bank_of_line(line) if bank is None else bank,
@@ -255,6 +282,8 @@ class MemoryController:
             core=core,
         )
         self.wq.append(entry)
+        if self._tracer.enabled:
+            self._tracer.wq_append(append_time, line, is_counter, len(self.wq))
         return append_time
 
     def append_pair(
@@ -270,6 +299,7 @@ class MemoryController:
         invariant of Section 3.2. Returns the append time.
         """
         self.advance_to(t)
+        self._tracer.sample_tick(t)
         # Re-evaluate coalescibility every time we drain: issuing entries
         # to make space can consume the very counter entry the new counter
         # write would have coalesced with.
@@ -289,6 +319,8 @@ class MemoryController:
         if append_time > t:
             self._stats.inc("wq", "full_stalls")
             self._stats.inc("wq", "stall_ns", append_time - t)
+            if self._tracer.enabled:
+                self._tracer.wq_stall(t, append_time - t, data.core)
         data.enq_time = append_time
         counter.enq_time = append_time
         if coalesces:
@@ -298,6 +330,10 @@ class MemoryController:
         else:
             self.wq.append(data)
             self.wq.append(counter)
+        if self._tracer.enabled:
+            occupancy = len(self.wq)
+            self._tracer.wq_append(append_time, data.line, False, occupancy)
+            self._tracer.wq_append(append_time, counter.line, True, occupancy)
         self._stats.inc("wq", "pair_appends")
         return append_time
 
@@ -314,6 +350,7 @@ class MemoryController:
     ) -> ReadResult:
         """Service a demand read at time ``t``."""
         self.advance_to(t)
+        self._tracer.sample_tick(t)
         if self.wq.find_line(line) is not None:
             self._stats.inc("wq", "read_forwards")
             return ReadResult(finish_time=t + self.timing.bus_ns, source="wq")

@@ -31,6 +31,7 @@ from typing import Iterator, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.stats import Stats
+from repro.obs.tracer import NULL_TRACER
 
 #: CWC policies.
 CWC_REMOVE_OLDER = "remove-older"
@@ -61,6 +62,7 @@ class WriteQueue:
         stats: Stats,
         cwc_enabled: bool = False,
         cwc_policy: str = CWC_REMOVE_OLDER,
+        tracer=NULL_TRACER,
     ):
         if cwc_policy not in (CWC_REMOVE_OLDER, CWC_MERGE_IN_PLACE):
             raise SimulationError(f"unknown CWC policy {cwc_policy!r}")
@@ -68,6 +70,7 @@ class WriteQueue:
         self.cwc_enabled = cwc_enabled
         self.cwc_policy = cwc_policy
         self._stats = stats
+        self._tracer = tracer
         self._entries: List[WQEntry] = []
         self._seq = 0
 
@@ -102,6 +105,10 @@ class WriteQueue:
             if older is not None:
                 coalesced = True
                 self._stats.inc("wq", "cwc_coalesced")
+                if self._tracer.enabled:
+                    self._tracer.wq_coalesce(
+                        entry.enq_time, entry.line, self.cwc_policy
+                    )
                 if self.cwc_policy == CWC_REMOVE_OLDER:
                     self._entries.remove(older)
                 else:

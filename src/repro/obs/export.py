@@ -1,0 +1,136 @@
+"""Trace exporters: Chrome trace-event JSON and compact JSONL.
+
+The Chrome format (the JSON object form) is what Perfetto and
+``chrome://tracing`` load directly: one process for the simulated machine,
+one thread per track (core, write queue, counter cache, crypto engine,
+bank), timestamps in microseconds. Extra top-level keys are permitted by
+the format, so the sampled gauge rows and latency histograms ride along in
+the same file — ``repro trace-report`` reads them back from there.
+
+The JSONL stream is the scripting-friendly alternative: one event object
+per line, timestamps kept in simulated nanoseconds, no envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.obs.events import PH_COMPLETE, PH_COUNTER, PH_END
+from repro.obs.tracer import Tracer
+
+#: The single simulated-machine process in the Chrome trace.
+PID = 1
+
+_TRACK_ORDER = ("core.", "wq", "cc", "crypto", "bank.", "metrics")
+
+
+def _track_sort_key(track: str):
+    for rank, prefix in enumerate(_TRACK_ORDER):
+        if track == prefix or track.startswith(prefix):
+            suffix = track[len(prefix):]
+            return (rank, int(suffix) if suffix.isdigit() else 0, track)
+    return (len(_TRACK_ORDER), 0, track)
+
+
+def assign_track_ids(tracks) -> Dict[str, int]:
+    """Deterministic track -> tid mapping (cores, queue, cc, crypto, banks)."""
+    ordered = sorted(set(tracks), key=_track_sort_key)
+    return {track: tid for tid, track in enumerate(ordered, start=1)}
+
+
+def chrome_trace_events(tracer: Tracer) -> List[dict]:
+    """The tracer's events in Chrome trace-event dict form.
+
+    Events are ordered by timestamp with ``E`` phases winning ties so
+    zero-gap begin/end sequences on one track stay properly nested.
+    """
+    tids = assign_track_ids(event.track for event in tracer.events)
+    out: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": PID,
+            "tid": 0,
+            "args": {"name": "supermem-sim"},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    ordered = sorted(
+        tracer.events, key=lambda e: (e.ts, 0 if e.ph == PH_END else 1)
+    )
+    for event in ordered:
+        record = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            # Chrome timestamps are microseconds; the simulator runs in ns.
+            "ts": event.ts / 1000.0,
+            "pid": PID,
+            "tid": tids[event.track],
+        }
+        if event.ph == PH_COMPLETE:
+            record["dur"] = event.dur / 1000.0
+        if event.ph == PH_COUNTER:
+            # Counter events render as a graph of their args values.
+            record["args"] = {event.name: event.args["value"]}
+        elif event.args is not None:
+            record["args"] = event.args
+        out.append(record)
+    return out
+
+
+def chrome_trace_dict(tracer: Tracer) -> dict:
+    """The full Chrome-format JSON object, gauges and histograms included."""
+    payload = {
+        "displayTimeUnit": "ns",
+        "traceEvents": chrome_trace_events(tracer),
+        "histograms": {
+            name: hist.to_dict() for name, hist in tracer.histograms.items()
+        },
+    }
+    if tracer.sampler is not None:
+        payload["samples"] = tracer.sampler.to_dicts()
+        payload["sampleIntervalNs"] = tracer.sampler.interval_ns
+    return payload
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the Chrome trace JSON; returns the number of trace events."""
+    payload = chrome_trace_dict(tracer)
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    return len(payload["traceEvents"])
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """Write one JSON object per event (ns timestamps); returns the count."""
+    with open(path, "w") as fh:
+        for event in sorted(
+            tracer.events, key=lambda e: (e.ts, 0 if e.ph == PH_END else 1)
+        ):
+            record = {
+                "ts": event.ts,
+                "cat": event.cat,
+                "name": event.name,
+                "ph": event.ph,
+                "track": event.track,
+            }
+            if event.ph == PH_COMPLETE:
+                record["dur"] = event.dur
+            if event.args:
+                record["args"] = event.args
+            fh.write(json.dumps(record, separators=(",", ":")))
+            fh.write("\n")
+    return len(tracer.events)

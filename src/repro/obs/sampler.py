@@ -1,0 +1,79 @@
+"""Time-series gauge sampling on a simulated-time interval.
+
+Components register *gauge providers* — callables mapping the current
+simulated time to a value (write-queue occupancy, a bank's cumulative busy
+fraction, the counter-cache hit rate). The owning tracer ticks the sampler
+from the memory controller's request paths; whenever simulated time has
+crossed the sampling interval, every gauge is read and recorded both as a
+row (for programmatic access) and as a Chrome ``C`` counter event (so the
+series renders as a graph track in Perfetto).
+
+Sampling is event-driven, not clock-driven: during a quiet stretch with no
+memory requests nothing advances, so one sample is taken per *crossed*
+boundary with the tick's own timestamp rather than back-filling idle
+intervals with fabricated points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.obs.events import TRACK_METRICS
+
+GaugeFn = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class SampleRow:
+    """One recorded gauge sample."""
+
+    ts: float
+    name: str
+    value: float
+
+
+class TimeSeriesSampler:
+    """Samples registered gauges every ``interval_ns`` of simulated time."""
+
+    def __init__(self, interval_ns: float):
+        if interval_ns <= 0:
+            raise ValueError(f"sample interval must be positive: {interval_ns}")
+        self.interval_ns = interval_ns
+        self._next_ts = 0.0
+        self._gauges: List[Tuple[str, str, GaugeFn]] = []
+        self.rows: List[SampleRow] = []
+
+    def register(self, name: str, fn: GaugeFn, track: str = TRACK_METRICS) -> None:
+        """Add a gauge; ``fn(ts)`` returns its value at simulated time ts."""
+        self._gauges.append((name, track, fn))
+
+    def tick(self, ts: float, emit=None) -> bool:
+        """Sample all gauges if ``ts`` crossed the next boundary.
+
+        ``emit(ts, name, value, track)`` (when given) additionally records
+        each sample as a counter event — the tracer passes its own gauge
+        emitter here. Returns whether a sample was taken.
+        """
+        if ts < self._next_ts:
+            return False
+        for name, track, fn in self._gauges:
+            value = fn(ts)
+            self.rows.append(SampleRow(ts=ts, name=name, value=value))
+            if emit is not None:
+                emit(ts, name, value, track)
+        # One sample per crossed boundary; skip idle gaps entirely.
+        periods = int(ts // self.interval_ns) + 1
+        self._next_ts = periods * self.interval_ns
+        return True
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """The (ts, value) points of one gauge, in record order."""
+        return [(row.ts, row.value) for row in self.rows if row.name == name]
+
+    def to_dicts(self) -> List[Dict[str, float]]:
+        """JSON-friendly rows for the exporters."""
+        return [
+            {"ts": row.ts, "name": row.name, "value": row.value}
+            for row in self.rows
+        ]

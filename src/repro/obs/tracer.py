@@ -1,0 +1,299 @@
+"""The event tracer and its disabled no-op twin.
+
+Design rules:
+
+* **Injected alongside the Stats object.** Every component that receives
+  the shared :class:`~repro.common.stats.Stats` registry also receives a
+  tracer, so a single call site records both the aggregate counter and the
+  timestamped event.
+* **Zero overhead when disabled.** The default is :data:`NULL_TRACER`, a
+  singleton whose methods are all no-ops and whose ``enabled`` flag is
+  False. Hot paths guard event emission with ``if tracer.enabled:`` so a
+  disabled run performs at most an attribute load and a branch — and no
+  argument construction. Timing results are identical either way because
+  nothing in the timing model ever reads tracer state.
+* **Typed emitters, not a generic log call.** The tracer's surface is the
+  event vocabulary of the simulated machine (``wq_append``, ``bank_busy``,
+  ``cc_access``, ``crypto``, ``txn``, ...), which keeps instrumentation
+  sites honest about what they record and gives the exporters a stable
+  schema.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.events import (
+    CAT_BANK,
+    CAT_CC,
+    CAT_CRYPTO,
+    CAT_SAMPLE,
+    CAT_TXN,
+    CAT_WQ,
+    PH_BEGIN,
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_END,
+    PH_INSTANT,
+    TRACK_CC,
+    TRACK_CRYPTO,
+    TRACK_WQ,
+    TraceEvent,
+    bank_track,
+    core_track,
+)
+from repro.obs.histogram import Histogram
+from repro.obs.sampler import TimeSeriesSampler
+
+
+class Tracer:
+    """Records typed events, latency histograms, and sampled gauges.
+
+    Parameters
+    ----------
+    sample_interval_ns:
+        When given, a :class:`TimeSeriesSampler` is attached and ticked
+        from the memory controller's request paths every ``interval`` of
+        simulated time. ``None`` disables gauge sampling (events and
+        histograms still record).
+    """
+
+    enabled = True
+
+    def __init__(self, sample_interval_ns: Optional[float] = None):
+        self.events: List[TraceEvent] = []
+        self.histograms: Dict[str, Histogram] = {}
+        self.sampler: Optional[TimeSeriesSampler] = (
+            TimeSeriesSampler(sample_interval_ns)
+            if sample_interval_ns is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Low-level recording
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self,
+        cat: str,
+        name: str,
+        track: str,
+        ts: float,
+        ph: str = PH_INSTANT,
+        dur: float = 0.0,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.events.append(
+            TraceEvent(cat=cat, name=name, track=track, ts=ts, ph=ph, dur=dur, args=args)
+        )
+
+    def histogram(self, name: str) -> Histogram:
+        """The named latency histogram, created on first use."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    # ------------------------------------------------------------------
+    # Write queue
+    # ------------------------------------------------------------------
+
+    def wq_append(self, ts: float, line: int, is_counter: bool, occupancy: int) -> None:
+        """A write entered the ADR-protected queue (the durability point)."""
+        self._emit(
+            CAT_WQ,
+            "counter_append" if is_counter else "data_append",
+            TRACK_WQ,
+            ts,
+            args={"line": line, "occupancy": occupancy},
+        )
+        self.gauge(ts, "wq.occupancy", occupancy, TRACK_WQ)
+
+    def wq_issue(
+        self, ts: float, line: int, bank: int, is_counter: bool, occupancy: int
+    ) -> None:
+        """The drain scheduler sent a queued write to its bank."""
+        self._emit(
+            CAT_WQ,
+            "issue",
+            TRACK_WQ,
+            ts,
+            args={
+                "line": line,
+                "bank": bank,
+                "is_counter": is_counter,
+                "occupancy": occupancy,
+            },
+        )
+        self.gauge(ts, "wq.occupancy", occupancy, TRACK_WQ)
+
+    def wq_stall(self, ts: float, dur_ns: float, core: int = 0) -> None:
+        """A full queue held up an append for ``dur_ns``."""
+        self._emit(
+            CAT_WQ,
+            "full_stall",
+            TRACK_WQ,
+            ts,
+            ph=PH_COMPLETE,
+            dur=dur_ns,
+            args={"core": core},
+        )
+        self.histogram("wq_stall_ns").record(dur_ns)
+
+    def wq_coalesce(self, ts: float, line: int, policy: str) -> None:
+        """CWC merged a counter write into an already-queued one."""
+        self._emit(CAT_WQ, "cwc_coalesce", TRACK_WQ, ts, args={"line": line, "policy": policy})
+
+    # ------------------------------------------------------------------
+    # Banks
+    # ------------------------------------------------------------------
+
+    def bank_busy(
+        self, start: float, end: float, bank: int, kind: str, row_hit: bool = False
+    ) -> None:
+        """One bank service interval (``kind``: "write" or "read").
+
+        Emitted as a begin/end pair: bank service is serialised per bank,
+        so the pairs are always well nested on their track.
+        """
+        track = bank_track(bank)
+        args = {"kind": kind}
+        if kind == "read":
+            args["row_hit"] = row_hit
+        self._emit(CAT_BANK, kind, track, start, ph=PH_BEGIN, args=args)
+        self._emit(CAT_BANK, kind, track, end, ph=PH_END)
+
+    # ------------------------------------------------------------------
+    # Counter cache
+    # ------------------------------------------------------------------
+
+    def cc_access(self, ts: float, page: int, hit: bool, update: bool) -> None:
+        """A counter-cache lookup (read path or counter bump)."""
+        self._emit(
+            CAT_CC,
+            "hit" if hit else "miss",
+            TRACK_CC,
+            ts,
+            args={"page": page, "update": update},
+        )
+
+    def cc_evict(self, ts: float, page: int, dirty: bool) -> None:
+        """A counter line left the cache (dirty ⇒ a write-back follows)."""
+        self._emit(CAT_CC, "evict", TRACK_CC, ts, args={"page": page, "dirty": dirty})
+
+    def cc_fetch(self, ts: float, line: int) -> None:
+        """A missing counter line was fetched from NVM."""
+        self._emit(CAT_CC, "counter_fetch", TRACK_CC, ts, args={"line": line})
+
+    # ------------------------------------------------------------------
+    # Crypto engine
+    # ------------------------------------------------------------------
+
+    def crypto(self, ts: float, dur_ns: float, kind: str, line: int) -> None:
+        """One AES/OTP pipeline occupancy (``kind``: "otp_write"/"otp_read")."""
+        self._emit(
+            CAT_CRYPTO,
+            kind,
+            TRACK_CRYPTO,
+            ts,
+            ph=PH_COMPLETE,
+            dur=dur_ns,
+            args={"line": line},
+        )
+        self.histogram("crypto_ns").record(dur_ns)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def txn(self, start: float, end: float, core: int) -> None:
+        """One completed transaction span on a core's track."""
+        self._emit(
+            CAT_TXN,
+            "txn",
+            core_track(core),
+            start,
+            ph=PH_COMPLETE,
+            dur=end - start,
+            args={"core": core},
+        )
+        self.histogram("txn_latency_ns").record(end - start)
+
+    # ------------------------------------------------------------------
+    # Gauges / sampling
+    # ------------------------------------------------------------------
+
+    def gauge(self, ts: float, name: str, value: float, track: str) -> None:
+        """Record one gauge value as a Chrome counter event."""
+        self._emit(CAT_SAMPLE, name, track, ts, ph=PH_COUNTER, args={"value": value})
+
+    def register_gauge(
+        self, name: str, fn: Callable[[float], float], track: str = TRACK_WQ
+    ) -> None:
+        """Register a sampled gauge provider (no-op without a sampler)."""
+        if self.sampler is not None:
+            self.sampler.register(name, fn, track)
+
+    def sample_tick(self, ts: float) -> None:
+        """Give the sampler a chance to record (called from hot paths)."""
+        if self.sampler is not None:
+            self.sampler.tick(ts, emit=self.gauge)
+
+
+class NullTracer:
+    """The disabled tracer: every emitter is a no-op.
+
+    Components hold this by default, so building a system without tracing
+    records nothing and allocates nothing. ``enabled`` is False so hot
+    paths can skip argument construction entirely.
+    """
+
+    enabled = False
+
+    #: Shared empty collections so accidental reads behave sensibly.
+    events: List[TraceEvent] = []
+    histograms: Dict[str, Histogram] = {}
+    sampler = None
+
+    def wq_append(self, ts, line, is_counter, occupancy) -> None:
+        pass
+
+    def wq_issue(self, ts, line, bank, is_counter, occupancy) -> None:
+        pass
+
+    def wq_stall(self, ts, dur_ns, core=0) -> None:
+        pass
+
+    def wq_coalesce(self, ts, line, policy) -> None:
+        pass
+
+    def bank_busy(self, start, end, bank, kind, row_hit=False) -> None:
+        pass
+
+    def cc_access(self, ts, page, hit, update) -> None:
+        pass
+
+    def cc_evict(self, ts, page, dirty) -> None:
+        pass
+
+    def cc_fetch(self, ts, line) -> None:
+        pass
+
+    def crypto(self, ts, dur_ns, kind, line) -> None:
+        pass
+
+    def txn(self, start, end, core) -> None:
+        pass
+
+    def gauge(self, ts, name, value, track) -> None:
+        pass
+
+    def register_gauge(self, name, fn, track=TRACK_WQ) -> None:
+        pass
+
+    def sample_tick(self, ts) -> None:
+        pass
+
+
+#: The process-wide disabled tracer every component defaults to.
+NULL_TRACER = NullTracer()

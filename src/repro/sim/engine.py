@@ -26,6 +26,7 @@ from repro.common.config import SimConfig
 from repro.common.errors import SimulationError
 from repro.common.stats import Stats
 from repro.core.system import SecureMemorySystem
+from repro.obs.tracer import NULL_TRACER
 from repro.txn.persist import (
     OP_CLWB,
     OP_COMPUTE,
@@ -48,11 +49,13 @@ class CoreEngine:
         system: SecureMemorySystem,
         stats: Stats,
         shared_l3: Optional[SetAssociativeCache] = None,
+        tracer=NULL_TRACER,
     ):
         self.core_id = core_id
         self.config = config
         self.system = system
         self.stats = stats
+        self.tracer = tracer
         prefix = f"core{core_id}." if shared_l3 is not None else ""
         self.hierarchy = CacheHierarchy(
             l1=config.l1,
@@ -102,6 +105,8 @@ class CoreEngine:
         elif kind == OP_TXN_END:
             if self._txn_start is not None and self._measuring:
                 self.txn_latencies.append(self.clock - self._txn_start)
+            if self._txn_start is not None and self.tracer.enabled:
+                self.tracer.txn(self._txn_start, self.clock, self.core_id)
             self._txn_start = None
         elif kind == OP_COMPUTE:
             self.clock += op[1]

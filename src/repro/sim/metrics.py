@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 from repro.common.stats import Stats
 
@@ -32,12 +33,32 @@ class SimResult:
             return 0.0
         return sum(self.txn_latencies) / len(self.txn_latencies)
 
-    @property
-    def p99_txn_latency_ns(self) -> float:
+    def txn_latency_percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the transaction latencies.
+
+        The p-th percentile is the smallest recorded latency with at least
+        ``p`` percent of the sample at or below it (rank ``ceil(p/100*n)``);
+        0.0 when no transactions were measured.
+        """
         if not self.txn_latencies:
             return 0.0
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
         ordered = sorted(self.txn_latencies)
-        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50_txn_latency_ns(self) -> float:
+        return self.txn_latency_percentile(50)
+
+    @property
+    def p95_txn_latency_ns(self) -> float:
+        return self.txn_latency_percentile(95)
+
+    @property
+    def p99_txn_latency_ns(self) -> float:
+        return self.txn_latency_percentile(99)
 
     # -- write traffic --------------------------------------------------
 
@@ -81,6 +102,32 @@ class SimResult:
     @property
     def wq_stall_ns(self) -> float:
         return self.stats.get("wq", "stall_ns")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable summary (the ``repro simulate --json`` payload).
+
+        Flattens the headline metrics plus every raw counter of the shared
+        statistics registry (as ``"namespace.counter"`` keys).
+        """
+        return {
+            "total_time_ns": self.total_time_ns,
+            "n_txns": self.n_txns,
+            "avg_txn_latency_ns": self.avg_txn_latency_ns,
+            "p50_txn_latency_ns": self.p50_txn_latency_ns,
+            "p95_txn_latency_ns": self.p95_txn_latency_ns,
+            "p99_txn_latency_ns": self.p99_txn_latency_ns,
+            "nvm_writes": self.nvm_writes,
+            "data_writes": self.data_writes,
+            "counter_writes": self.counter_writes,
+            "coalesced_counter_writes": self.coalesced_counter_writes,
+            "surviving_writes": self.surviving_writes,
+            "counter_cache_hit_rate": self.counter_cache_hit_rate,
+            "counter_cache_read_hit_rate": self.counter_cache_read_hit_rate,
+            "wq_stall_ns": self.wq_stall_ns,
+            "stats": {
+                f"{space}.{counter}": value for space, counter, value in self.stats
+            },
+        }
 
     def summary(self) -> str:
         """One-line human-readable digest."""

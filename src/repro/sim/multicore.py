@@ -19,6 +19,7 @@ from repro.common.errors import ConfigError
 from repro.common.stats import Stats
 from repro.core.schemes import Scheme, scheme_config
 from repro.core.system import SecureMemorySystem
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import CoreEngine
 from repro.sim.metrics import SimResult
 from repro.txn.persist import TraceOp
@@ -28,16 +29,24 @@ from repro.workloads.generator import generate_trace
 class MulticoreSimulator:
     """N cores over one shared memory system."""
 
-    def __init__(self, config: SimConfig, n_cores: int):
+    def __init__(self, config: SimConfig, n_cores: int, tracer=None):
         if n_cores < 1:
             raise ConfigError("need at least one core")
         self.config = config
         self.n_cores = n_cores
         self.stats = Stats()
-        self.system = SecureMemorySystem(config, stats=self.stats)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.system = SecureMemorySystem(config, stats=self.stats, tracer=self.tracer)
         shared_l3 = SetAssociativeCache(config.l3, self.stats, "l3")
         self.engines = [
-            CoreEngine(core, config, self.system, self.stats, shared_l3=shared_l3)
+            CoreEngine(
+                core,
+                config,
+                self.system,
+                self.stats,
+                shared_l3=shared_l3,
+                tracer=self.tracer,
+            )
             for core in range(n_cores)
         ]
 

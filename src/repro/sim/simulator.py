@@ -14,6 +14,7 @@ from repro.common.config import SimConfig
 from repro.common.stats import Stats
 from repro.core.schemes import Scheme, scheme_config
 from repro.core.system import SecureMemorySystem
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import CoreEngine
 from repro.sim.metrics import SimResult
 from repro.txn.persist import TraceOp
@@ -23,13 +24,24 @@ from repro.workloads.generator import generate_trace
 class Simulator:
     """Replays a trace on a single core over a fresh memory system."""
 
-    def __init__(self, config: SimConfig, counter_organization: str = "split"):
+    def __init__(
+        self,
+        config: SimConfig,
+        counter_organization: str = "split",
+        tracer=None,
+    ):
         self.config = config
         self.stats = Stats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.system = SecureMemorySystem(
-            config, stats=self.stats, counter_organization=counter_organization
+            config,
+            stats=self.stats,
+            counter_organization=counter_organization,
+            tracer=self.tracer,
         )
-        self.engine = CoreEngine(0, config, self.system, self.stats)
+        self.engine = CoreEngine(
+            0, config, self.system, self.stats, tracer=self.tracer
+        )
 
     def run(
         self,
@@ -69,6 +81,7 @@ def simulate_workload(
     seed: int = 1,
     warmup_ops: int = 0,
     counter_organization: str = "split",
+    tracer=None,
 ) -> SimResult:
     """Generate a workload trace and simulate it under ``scheme``.
 
@@ -89,5 +102,5 @@ def simulate_workload(
         seed=seed,
         warmup_ops=warmup_ops,
     )
-    sim = Simulator(cfg, counter_organization=counter_organization)
+    sim = Simulator(cfg, counter_organization=counter_organization, tracer=tracer)
     return sim.run(trace.ops, warmup_ops=trace.warmup_ops)

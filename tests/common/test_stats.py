@@ -86,3 +86,115 @@ def test_integer_values_render_without_decimals():
     s.inc("a", "n", 2.0)
     assert s.get("a", "n") == 2
     assert isinstance(s.get("a", "n"), int)
+
+
+# -- merge edge cases ------------------------------------------------------
+
+
+def test_merge_empty_other_is_identity():
+    a = Stats()
+    a.inc("x", "n", 4)
+    before = a.snapshot()
+    a.merge(Stats())
+    assert a.snapshot() == before
+
+
+def test_merge_into_empty_copies_everything():
+    a, b = Stats(), Stats()
+    b.inc("x", "n", 2)
+    b.set("y", "m", 1.5)
+    a.merge(b)
+    assert a.snapshot() == b.snapshot()
+
+
+def test_merge_does_not_alias_source():
+    a, b = Stats(), Stats()
+    b.inc("x", "n", 2)
+    a.merge(b)
+    b.inc("x", "n", 10)
+    assert a.get("x", "n") == 2
+
+
+def test_merge_mixes_float_and_int():
+    a, b = Stats(), Stats()
+    a.inc("x", "n", 1)
+    b.inc("x", "n", 0.5)
+    a.merge(b)
+    assert a.get("x", "n") == 1.5
+
+
+def test_self_merge_doubles():
+    a = Stats()
+    a.inc("x", "n", 3)
+    a.merge(a)
+    assert a.get("x", "n") == 6
+
+
+# -- maximize edge cases ---------------------------------------------------
+
+
+def test_maximize_keeps_existing_on_tie():
+    s = Stats()
+    s.maximize("wq", "peak", 5)
+    s.maximize("wq", "peak", 5)
+    assert s.get("wq", "peak") == 5
+
+
+def test_maximize_with_negative_values():
+    s = Stats()
+    s.maximize("t", "coldest", -10)
+    s.maximize("t", "coldest", -3)
+    assert s.get("t", "coldest") == -3
+    # A first negative observation is kept even though it is < 0.
+    s2 = Stats()
+    s2.maximize("t", "coldest", -10)
+    assert s2.get("t", "coldest") == -10
+
+
+def test_maximize_after_inc_respects_running_value():
+    s = Stats()
+    s.inc("wq", "peak", 7)
+    s.maximize("wq", "peak", 3)
+    assert s.get("wq", "peak") == 7
+    s.maximize("wq", "peak", 9)
+    assert s.get("wq", "peak") == 9
+
+
+# -- format prefix filtering edge cases ------------------------------------
+
+
+def test_format_empty_prefix_includes_everything():
+    s = Stats()
+    s.inc("bank.0", "writes", 1)
+    s.inc("wq", "appends", 1)
+    text = s.format()
+    assert "bank.0.writes = 1" in text
+    assert "wq.appends = 1" in text
+
+
+def test_format_prefix_is_plain_string_prefix_not_namespace_match():
+    """'bank.1' matches both 'bank.1' and 'bank.10' — prefix semantics."""
+    s = Stats()
+    s.inc("bank.1", "writes", 1)
+    s.inc("bank.10", "writes", 2)
+    s.inc("bank.2", "writes", 3)
+    text = s.format(prefix="bank.1")
+    assert "bank.1.writes = 1" in text
+    assert "bank.10.writes = 2" in text
+    assert "bank.2" not in text
+
+
+def test_format_unmatched_prefix_is_empty():
+    s = Stats()
+    s.inc("wq", "appends", 1)
+    assert s.format(prefix="nothing") == ""
+
+
+def test_format_on_empty_stats_is_empty():
+    assert Stats().format() == ""
+
+
+def test_format_renders_floats_to_four_places():
+    s = Stats()
+    s.set("cc", "rate", 0.123456)
+    assert "cc.rate = 0.1235" in s.format()

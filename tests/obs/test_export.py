@@ -1,0 +1,127 @@
+"""Chrome trace-event and JSONL export validity.
+
+The Chrome test is the acceptance gate for ``repro simulate --trace``: a
+real SuperMem run must produce a JSON file whose every event carries the
+required ``ph``/``ts``/``pid``/``tid``/``name`` keys, whose begin/end
+pairs are monotonically consistent per track, and which spans at least the
+five event categories (wq, bank, cc, crypto, txn).
+"""
+
+import json
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.obs import Tracer
+from repro.obs.export import (
+    assign_track_ids,
+    chrome_trace_dict,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim.simulator import simulate_workload
+
+REQUIRED_KEYS = {"ph", "ts", "pid", "tid", "name"}
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer(sample_interval_ns=2000.0)
+    result = simulate_workload(
+        "queue", Scheme.SUPERMEM, n_ops=40, request_size=1024, footprint=1 << 20,
+        tracer=tracer,
+    )
+    return tracer, result
+
+
+def test_chrome_file_is_valid_json_with_required_keys(traced_run, tmp_path):
+    tracer, _ = traced_run
+    path = tmp_path / "out.json"
+    n_events = write_chrome_trace(tracer, str(path))
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    assert len(events) == n_events > 0
+    for event in events:
+        assert REQUIRED_KEYS <= set(event), f"missing keys in {event}"
+
+
+def test_chrome_trace_has_five_event_categories(traced_run):
+    tracer, _ = traced_run
+    events = chrome_trace_dict(tracer)["traceEvents"]
+    cats = {e.get("cat") for e in events if e["ph"] != "M"}
+    assert {"wq", "bank", "cc", "crypto", "txn"} <= cats
+
+
+def test_begin_end_pairs_are_consistent_per_track(traced_run):
+    """Every B has a matching later E on the same track, properly nested."""
+    tracer, _ = traced_run
+    events = chrome_trace_dict(tracer)["traceEvents"]
+    depth = {}
+    last_ts = {}
+    saw_pairs = False
+    for event in events:
+        if event["ph"] not in ("B", "E"):
+            continue
+        saw_pairs = True
+        key = (event["pid"], event["tid"])
+        assert event["ts"] >= last_ts.get(key, float("-inf")), "track not monotonic"
+        last_ts[key] = event["ts"]
+        if event["ph"] == "B":
+            depth[key] = depth.get(key, 0) + 1
+        else:
+            depth[key] = depth.get(key, 0) - 1
+            assert depth[key] >= 0, "E without matching B"
+    assert saw_pairs
+    assert all(d == 0 for d in depth.values()), "unclosed B events"
+
+
+def test_timestamps_are_microseconds(traced_run, tmp_path):
+    tracer, result = traced_run
+    events = chrome_trace_dict(tracer)["traceEvents"]
+    max_ts = max(e["ts"] + e.get("dur", 0.0) for e in events)
+    assert max_ts <= result.total_time_ns / 1000.0 + 1e-6
+
+
+def test_thread_metadata_names_every_track(traced_run):
+    tracer, _ = traced_run
+    events = chrome_trace_dict(tracer)["traceEvents"]
+    named_tids = {
+        e["tid"] for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    used_tids = {e["tid"] for e in events if e["ph"] != "M"}
+    assert used_tids <= named_tids
+    names = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert "wq" in names
+    assert any(name.startswith("bank.") for name in names)
+    assert "core.0" in names
+
+
+def test_histograms_and_samples_ride_along(traced_run, tmp_path):
+    tracer, _ = traced_run
+    payload = chrome_trace_dict(tracer)
+    assert payload["histograms"]["txn_latency_ns"]["n"] == 40
+    assert payload["sampleIntervalNs"] == 2000.0
+    assert len(payload["samples"]) > 0
+
+
+def test_jsonl_stream_round_trips(traced_run, tmp_path):
+    tracer, _ = traced_run
+    path = tmp_path / "out.jsonl"
+    n_events = write_jsonl(tracer, str(path))
+    lines = path.read_text().splitlines()
+    assert len(lines) == n_events == len(tracer.events)
+    for line in lines[:200]:
+        record = json.loads(line)
+        assert {"ts", "cat", "name", "ph", "track"} <= set(record)
+
+
+def test_track_id_assignment_is_deterministic():
+    tracks = ["bank.10", "bank.2", "wq", "core.1", "core.0", "cc", "crypto"]
+    ids = assign_track_ids(tracks)
+    assert ids == assign_track_ids(reversed(tracks))
+    assert ids["core.0"] < ids["core.1"] < ids["wq"] < ids["cc"]
+    assert ids["crypto"] < ids["bank.2"] < ids["bank.10"]

@@ -20,6 +20,59 @@ def test_latency_aggregates():
     assert r.p99_txn_latency_ns == 300.0
 
 
+def test_percentiles_use_nearest_rank():
+    latencies = [float(v) for v in range(1, 101)]  # 1..100
+    r = SimResult(total_time_ns=0.0, txn_latencies=latencies)
+    # Nearest rank: ceil(p/100 * 100) = p-th value exactly.
+    assert r.p50_txn_latency_ns == 50.0
+    assert r.p95_txn_latency_ns == 95.0
+    assert r.p99_txn_latency_ns == 99.0
+    assert r.txn_latency_percentile(100) == 100.0
+
+
+def test_percentile_single_sample():
+    r = SimResult(total_time_ns=0.0, txn_latencies=[42.0])
+    assert r.p50_txn_latency_ns == 42.0
+    assert r.p99_txn_latency_ns == 42.0
+
+
+def test_percentile_unsorted_input():
+    r = SimResult(total_time_ns=0.0, txn_latencies=[30.0, 10.0, 20.0])
+    assert r.p50_txn_latency_ns == 20.0
+    assert r.p95_txn_latency_ns == 30.0
+
+
+def test_percentile_out_of_range_rejected():
+    r = SimResult(total_time_ns=0.0, txn_latencies=[1.0])
+    with pytest.raises(ValueError):
+        r.txn_latency_percentile(0)
+    with pytest.raises(ValueError):
+        r.txn_latency_percentile(150)
+
+
+def test_to_dict_summary():
+    r = make_result({
+        ("wq", "appends"): 100,
+        ("wq", "data_appends"): 60,
+        ("wq", "counter_appends"): 40,
+        ("wq", "cwc_coalesced"): 25,
+    })
+    payload = r.to_dict()
+    assert payload["total_time_ns"] == 1000.0
+    assert payload["n_txns"] == 3
+    assert payload["p50_txn_latency_ns"] == 200.0
+    assert payload["nvm_writes"] == 100
+    assert payload["surviving_writes"] == 75
+    assert payload["stats"]["wq.appends"] == 100
+
+
+def test_to_dict_is_json_serialisable():
+    import json
+
+    payload = make_result({("cc", "hits"): 1}).to_dict()
+    assert json.loads(json.dumps(payload)) == payload
+
+
 def test_empty_latencies():
     r = SimResult(total_time_ns=0.0)
     assert r.n_txns == 0

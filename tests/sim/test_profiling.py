@@ -55,3 +55,41 @@ def test_empty_profile_handles_zero_time():
     profile = profile_run(SimResult(total_time_ns=0.0))
     assert profile.stall_fraction == 0.0
     assert profile.bank_imbalance == 0.0
+
+
+def test_non_default_bank_count_derived_from_stats():
+    """A 16-bank run must profile 16 banks without the caller saying so."""
+    from repro.common.config import MemoryConfig, SimConfig
+
+    base = SimConfig(memory=MemoryConfig(n_banks=16))
+    result = simulate_workload(
+        "array",
+        Scheme.WT_BASE,
+        n_ops=20,
+        request_size=1024,
+        footprint=1 << 20,
+        base_config=base,
+    )
+    profile = profile_run(result)
+    assert len(profile.banks) == 16
+    assert sum(b.writes for b in profile.banks) > 0
+
+
+def test_bank_count_falls_back_to_namespace_scan():
+    """Stats without the config record still recover the touched banks."""
+    from repro.common.stats import Stats
+    from repro.sim.metrics import SimResult
+
+    stats = Stats()
+    stats.inc("bank.0", "writes", 3)
+    stats.inc("bank.11", "writes", 1)
+    profile = profile_run(SimResult(total_time_ns=100.0, stats=stats))
+    assert len(profile.banks) == 12
+    assert profile.banks[11].writes == 1
+
+
+def test_explicit_n_banks_still_wins():
+    from repro.sim.metrics import SimResult
+
+    profile = profile_run(SimResult(total_time_ns=0.0), n_banks=4)
+    assert len(profile.banks) == 4

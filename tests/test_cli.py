@@ -115,3 +115,80 @@ def test_run_with_json_export(tmp_path, capsys):
     payload = json.loads(js.read_text())
     assert payload["experiment"] == "table1"
     assert any(p["system"] == "supermem" for p in payload["points"])
+
+
+def test_simulate_json_summary(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "result.json"
+    assert (
+        main(
+            [
+                "simulate",
+                "queue",
+                "--ops",
+                "10",
+                "--footprint",
+                "262144",
+                "--json",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(out.read_text())
+    assert payload["n_txns"] == 10
+    assert payload["total_time_ns"] > 0
+    assert "p95_txn_latency_ns" in payload
+    assert "wq.appends" in payload["stats"]
+
+
+def test_simulate_json_to_stdout(capsys):
+    import json
+
+    assert (
+        main(
+            ["simulate", "queue", "--ops", "5", "--footprint", "262144", "--json", "-"]
+        )
+        == 0
+    )
+    captured = capsys.readouterr().out
+    payload = json.loads(captured[captured.index("{"):])
+    assert payload["n_txns"] == 5
+
+
+def test_simulate_trace_and_report(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    assert (
+        main(
+            [
+                "simulate",
+                "queue",
+                "--ops",
+                "20",
+                "--footprint",
+                "1048576",
+                "--trace",
+                str(trace),
+                "--trace-jsonl",
+                str(jsonl),
+                "--sample-ns",
+                "2000",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"]
+    assert jsonl.read_text().splitlines()
+    capsys.readouterr()
+
+    assert main(["trace-report", str(trace), "--buckets", "5"]) == 0
+    report = capsys.readouterr().out
+    assert "trace span" in report
+    assert "wq occ" in report
+    assert "coal %" in report
+    assert "bank imbal" in report
