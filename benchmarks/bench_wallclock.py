@@ -1,0 +1,42 @@
+"""Wall-clock benchmark of the sweep runner (serial vs cache vs parallel).
+
+Unlike the other files in this directory (pytest-benchmark shape checks of
+*simulated* numbers), this one measures the harness itself: how long the
+standard fig13 sweep takes serial with a cold trace cache, serial with
+memoization, and fanned out over worker processes. It writes
+``BENCH_SWEEP.json`` — the repo's perf trajectory record.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --scale smoke --jobs 4
+
+or through the CLI hook::
+
+    python -m repro bench-sweep --scale smoke --jobs 4
+"""
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=("smoke", "default", "full"), default="smoke"
+    )
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--output", default="BENCH_SWEEP.json")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.bench import format_summary, run_sweep_benchmark
+
+    payload = run_sweep_benchmark(
+        scale=args.scale, jobs=args.jobs, output=args.output
+    )
+    print(format_summary(payload))
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

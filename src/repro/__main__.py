@@ -22,11 +22,15 @@ import sys
 import time
 
 
-def _run_experiment(name: str, scale: str, json_path: str | None = None) -> str:
+def _run_experiment(
+    name: str, scale: str, json_path: str | None = None, jobs: int = 1
+) -> str:
     """Run one experiment by name; returns rendered markdown.
 
     When ``json_path`` is given, the raw points are also exported there
-    (experiments that produce point lists only).
+    (experiments that produce point lists only). ``jobs`` fans the
+    experiment's simulation grid over that many worker processes
+    (results are bit-identical to serial; see docs/PERFORMANCE.md).
     """
     from repro.experiments import (
         ablations,
@@ -42,29 +46,31 @@ def _run_experiment(name: str, scale: str, json_path: str | None = None) -> str:
 
     points = None
     if name == "table1":
+        # Crash injection is a handful of sequential scenarios, not a
+        # sweep grid — always serial.
         points = table1.run()
         rendered = table1.render(points)
     elif name == "related":
         rendered = related_work.render(
-            related_work.run_runtime(scale), related_work.run_recovery()
+            related_work.run_runtime(scale, jobs=jobs), related_work.run_recovery()
         )
     elif name == "fig13":
-        points = fig13.run(scale)
+        points = fig13.run(scale, jobs=jobs)
         rendered = fig13.render(points)
     elif name == "fig14":
-        points = fig14.run(scale)
+        points = fig14.run(scale, jobs=jobs)
         rendered = fig14.render(points)
     elif name == "fig15":
-        points = fig15.run(scale)
+        points = fig15.run(scale, jobs=jobs)
         rendered = fig15.render(points)
     elif name == "fig16":
-        points = fig16.run(scale)
+        points = fig16.run(scale, jobs=jobs)
         rendered = fig16.render(points)
     elif name == "fig17":
-        points = fig17.run(scale)
+        points = fig17.run(scale, jobs=jobs)
         rendered = fig17.render(points)
     elif name == "ablations":
-        rendered = ablations.render_all(scale)
+        rendered = ablations.render_all(scale, jobs=jobs)
     else:
         raise SystemExit(f"unknown experiment {name!r}; see `python -m repro list`")
     if json_path and points is not None:
@@ -125,6 +131,35 @@ def main(argv=None) -> int:
         "--json",
         default=None,
         help="also export the raw experiment points as JSON (single experiment only)",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="worker processes for the sweep grid ('auto' = CPU count; "
+        "default 1 = serial; output is bit-identical either way)",
+    )
+
+    bench_parser = sub.add_parser(
+        "bench-sweep",
+        help="time the fig13 sweep serial vs cached vs parallel (BENCH_SWEEP.json)",
+    )
+    bench_parser.add_argument(
+        "--scale",
+        choices=("smoke", "default", "full"),
+        default="smoke",
+        help="run size preset (default: smoke)",
+    )
+    bench_parser.add_argument(
+        "--jobs",
+        default="4",
+        metavar="N",
+        help="worker processes for the parallel leg ('auto' = CPU count; default 4)",
+    )
+    bench_parser.add_argument(
+        "--output",
+        default="BENCH_SWEEP.json",
+        help="JSON output path (default: BENCH_SWEEP.json)",
     )
 
     trace_parser = sub.add_parser(
@@ -197,19 +232,27 @@ def main(argv=None) -> int:
         return _cmd_simulate(args)
     if args.command == "trace-report":
         return _cmd_trace_report(args)
+    if args.command == "bench-sweep":
+        return _cmd_bench_sweep(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:
             print(f"{name:10s} {_DESCRIPTIONS[name]}")
         return 0
 
+    jobs = _parse_jobs(args.jobs)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     json_path = args.json if len(names) == 1 else None
     sections = []
     for name in names:
         started = time.time()
-        print(f"[repro] running {name} (scale={args.scale})...", file=sys.stderr)
-        sections.append(_run_experiment(name, args.scale, json_path=json_path))
+        print(
+            f"[repro] running {name} (scale={args.scale}, jobs={jobs})...",
+            file=sys.stderr,
+        )
+        sections.append(
+            _run_experiment(name, args.scale, json_path=json_path, jobs=jobs)
+        )
         print(f"[repro] {name} done in {time.time() - started:.1f}s", file=sys.stderr)
     output = "\n".join(sections)
     if args.output:
@@ -218,6 +261,35 @@ def main(argv=None) -> int:
         print(f"[repro] wrote {args.output}", file=sys.stderr)
     else:
         print(output)
+    return 0
+
+
+def _parse_jobs(value: str) -> int:
+    """Parse a ``--jobs`` value: a positive integer or ``auto``."""
+    if value == "auto":
+        from repro.experiments.runner import default_jobs
+
+        return default_jobs()
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise SystemExit(f"--jobs expects a positive integer or 'auto', got {value!r}")
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _cmd_bench_sweep(args) -> int:
+    from repro.experiments.bench import format_summary, run_sweep_benchmark
+
+    jobs = _parse_jobs(args.jobs)
+    print(
+        f"[repro] benchmarking fig13 sweep (scale={args.scale}, jobs={jobs})...",
+        file=sys.stderr,
+    )
+    payload = run_sweep_benchmark(scale=args.scale, jobs=jobs, output=args.output)
+    print(format_summary(payload))
+    print(f"[repro] wrote {args.output}", file=sys.stderr)
     return 0
 
 

@@ -26,7 +26,7 @@ from typing import List
 from repro.core.schemes import Scheme, scheme_config
 from repro.experiments.common import Scale, experiment_base_config, get_scale
 from repro.experiments.report import render_table
-from repro.sim.simulator import simulate_workload
+from repro.experiments.runner import PointSpec, run_points
 
 
 @dataclass
@@ -37,10 +37,10 @@ class AblationRow:
     coalesced: int
 
 
-def _run(base, workload="array", scheme=Scheme.SUPERMEM, scale=None, **kw):
-    return simulate_workload(
-        workload,
-        scheme,
+def _spec(base, workload="array", scheme=Scheme.SUPERMEM, scale=None, **kw):
+    return PointSpec(
+        workload=workload,
+        scheme=scheme,
         n_ops=scale.n_ops,
         request_size=kw.pop("request_size", 1024),
         footprint=scale.footprint,
@@ -50,78 +50,102 @@ def _run(base, workload="array", scheme=Scheme.SUPERMEM, scale=None, **kw):
     )
 
 
-def cwc_policy_ablation(scale: str | Scale = "default", workload: str = "array") -> List[AblationRow]:
+def cwc_policy_ablation(
+    scale: str | Scale = "default", workload: str = "array", jobs: int = 1
+) -> List[AblationRow]:
     """Remove-older-and-append-at-tail vs merge-in-place."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
-    rows = []
-    for policy in ("remove-older", "merge-in-place"):
-        base = dataclasses.replace(
-            experiment_base_config(scale), cwc_policy=policy
+    policies = ("remove-older", "merge-in-place")
+    specs = [
+        _spec(
+            dataclasses.replace(experiment_base_config(scale), cwc_policy=policy),
+            workload=workload,
+            scale=scale,
         )
-        r = _run(base, workload=workload, scale=scale)
-        rows.append(
-            AblationRow(policy, r.avg_txn_latency_ns, r.surviving_writes, r.coalesced_counter_writes)
-        )
-    return rows
+        for policy in policies
+    ]
+    results = run_points(specs, jobs=jobs, label="ablation:cwc-policy")
+    return [
+        AblationRow(policy, r.avg_txn_latency_ns, r.surviving_writes, r.coalesced_counter_writes)
+        for policy, r in zip(policies, results)
+    ]
 
 
-def xbank_offset_sweep(scale: str | Scale = "default", workload: str = "array") -> List[AblationRow]:
+def xbank_offset_sweep(
+    scale: str | Scale = "default", workload: str = "array", jobs: int = 1
+) -> List[AblationRow]:
     """Counter-bank offset 1..N-1 (the paper picks N/2 = 4)."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
-    rows = []
-    for offset in range(1, 8):
-        base = dataclasses.replace(
-            experiment_base_config(scale), xbank_offset=offset
+    offsets = range(1, 8)
+    specs = [
+        _spec(
+            dataclasses.replace(experiment_base_config(scale), xbank_offset=offset),
+            workload=workload,
+            scheme=Scheme.WT_XBANK,
+            scale=scale,
         )
-        r = _run(base, workload=workload, scheme=Scheme.WT_XBANK, scale=scale)
-        rows.append(
-            AblationRow(f"offset={offset}", r.avg_txn_latency_ns, r.surviving_writes, 0)
-        )
-    return rows
+        for offset in offsets
+    ]
+    results = run_points(specs, jobs=jobs, label="ablation:xbank-offset")
+    return [
+        AblationRow(f"offset={offset}", r.avg_txn_latency_ns, r.surviving_writes, 0)
+        for offset, r in zip(offsets, results)
+    ]
 
 
-def drain_policy_ablation(scale: str | Scale = "default", workload: str = "array") -> List[AblationRow]:
+def drain_policy_ablation(
+    scale: str | Scale = "default", workload: str = "array", jobs: int = 1
+) -> List[AblationRow]:
     """Deferred-counter FR-FCFS (default) vs eager FR-FCFS vs FIFO."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
-    rows = []
-    for policy in ("defer-counters", "frfcfs", "fifo"):
+    policies = ("defer-counters", "frfcfs", "fifo")
+    specs = []
+    for policy in policies:
         base = experiment_base_config(scale)
         base = dataclasses.replace(
             base, memory=dataclasses.replace(base.memory, drain_policy=policy)
         )
-        r = _run(base, workload=workload, scale=scale)
-        rows.append(
-            AblationRow(policy, r.avg_txn_latency_ns, r.surviving_writes, r.coalesced_counter_writes)
-        )
-    return rows
+        specs.append(_spec(base, workload=workload, scale=scale))
+    results = run_points(specs, jobs=jobs, label="ablation:drain-policy")
+    return [
+        AblationRow(policy, r.avg_txn_latency_ns, r.surviving_writes, r.coalesced_counter_writes)
+        for policy, r in zip(policies, results)
+    ]
 
 
 def counter_organization_ablation(
-    scale: str | Scale = "default", workload: str = "array"
+    scale: str | Scale = "default", workload: str = "array", jobs: int = 1
 ) -> List[AblationRow]:
     """Split counters (paper) vs monolithic per-line 64-bit counters."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
-    rows = []
-    for organization in ("split", "monolithic"):
-        base = experiment_base_config(scale)
-        r = _run(base, workload=workload, scale=scale, counter_organization=organization)
-        rows.append(
-            AblationRow(
-                organization, r.avg_txn_latency_ns, r.surviving_writes, r.coalesced_counter_writes
-            )
+    organizations = ("split", "monolithic")
+    specs = [
+        _spec(
+            experiment_base_config(scale),
+            workload=workload,
+            scale=scale,
+            counter_organization=organization,
         )
-    return rows
+        for organization in organizations
+    ]
+    results = run_points(specs, jobs=jobs, label="ablation:counter-org")
+    return [
+        AblationRow(
+            organization, r.avg_txn_latency_ns, r.surviving_writes, r.coalesced_counter_writes
+        )
+        for organization, r in zip(organizations, results)
+    ]
 
 
-def render_all(scale: str | Scale = "default") -> str:
+def render_all(scale: str | Scale = "default", jobs: int = 1) -> str:
     """Run and render every ablation."""
     headers = ["variant", "avg txn latency (ns)", "NVM writes", "coalesced"]
     sections = []
     for title, rows in (
-        ("Ablation: CWC removal policy (SuperMem, array, 1KB)", cwc_policy_ablation(scale)),
-        ("Ablation: XBank offset sweep (WT+XBank, array, 1KB)", xbank_offset_sweep(scale)),
-        ("Ablation: write-drain policy (SuperMem, array, 1KB)", drain_policy_ablation(scale)),
-        ("Ablation: counter organisation (SuperMem, array, 1KB)", counter_organization_ablation(scale)),
+        ("Ablation: CWC removal policy (SuperMem, array, 1KB)", cwc_policy_ablation(scale, jobs=jobs)),
+        ("Ablation: XBank offset sweep (WT+XBank, array, 1KB)", xbank_offset_sweep(scale, jobs=jobs)),
+        ("Ablation: write-drain policy (SuperMem, array, 1KB)", drain_policy_ablation(scale, jobs=jobs)),
+        ("Ablation: counter organisation (SuperMem, array, 1KB)", counter_organization_ablation(scale, jobs=jobs)),
     ):
         sections.append(
             render_table(

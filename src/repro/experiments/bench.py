@@ -1,0 +1,112 @@
+"""Wall-clock benchmark of the experiment sweep runner.
+
+Times the standard Figure 13 sweep three ways — serial with the trace
+cache disabled (the pre-runner baseline), serial with the cache, and
+parallel with ``--jobs N`` — and writes the measurements to a JSON file
+(``BENCH_SWEEP.json`` by convention; the start of the repo's perf
+trajectory). Each record follows the schema
+``{name, scale, jobs, wall_s, points}``; the ``speedup`` block reports
+the two headline ratios the runner is responsible for.
+
+Run via ``python -m repro bench-sweep`` or
+``python benchmarks/bench_wallclock.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: The fig13 request sizes exercised by the benchmark sweep.
+BENCH_REQUEST_SIZES = (256, 1024, 4096)
+
+
+def _timed_sweep(
+    scale: str,
+    request_sizes: Sequence[int],
+    jobs: int,
+    cache_enabled: bool,
+) -> Tuple[float, int]:
+    """One fig13 sweep; returns (wall seconds, number of points)."""
+    from repro.experiments import fig13
+    from repro.sim import trace_cache
+
+    trace_cache.configure(cache_enabled)
+    trace_cache.clear()
+    try:
+        started = time.perf_counter()
+        points = fig13.run(scale, request_sizes=tuple(request_sizes), jobs=jobs)
+        wall = time.perf_counter() - started
+    finally:
+        trace_cache.configure(True)
+    return wall, len(points)
+
+
+def run_sweep_benchmark(
+    scale: str = "smoke",
+    jobs: int = 4,
+    request_sizes: Sequence[int] = BENCH_REQUEST_SIZES,
+    output: Optional[str] = "BENCH_SWEEP.json",
+) -> Dict[str, object]:
+    """Benchmark the fig13 sweep serial vs cached vs parallel.
+
+    Returns the payload written to ``output`` (pass ``None`` to skip the
+    file). Simulated results are identical across the three runs — only
+    wall-clock differs — so this is purely a harness benchmark.
+    """
+    runs: List[Dict[str, object]] = []
+
+    def record(name: str, n_jobs: int, cache_enabled: bool) -> float:
+        wall, n_points = _timed_sweep(scale, request_sizes, n_jobs, cache_enabled)
+        runs.append(
+            {
+                "name": name,
+                "scale": scale,
+                "jobs": n_jobs,
+                "wall_s": round(wall, 3),
+                "points": n_points,
+            }
+        )
+        return wall
+
+    serial_nocache = record("serial-nocache", 1, False)
+    serial = record("serial", 1, True)
+    parallel = record("parallel", jobs, True)
+
+    payload: Dict[str, object] = {
+        "benchmark": "fig13-sweep",
+        "runs": runs,
+        "speedup": {
+            # Trace memoization alone (serial, cold vs warm generation).
+            "trace_cache": round(serial_nocache / serial, 3) if serial else 0.0,
+            # Process fan-out on top of the cache.
+            "parallel_vs_serial": round(serial / parallel, 3) if parallel else 0.0,
+            "total": round(serial_nocache / parallel, 3) if parallel else 0.0,
+        },
+        "host_cpus": os.cpu_count(),
+    }
+    if output:
+        with open(output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return payload
+
+
+def format_summary(payload: Dict[str, object]) -> str:
+    """Human-readable digest of a benchmark payload."""
+    lines = []
+    for run in payload["runs"]:  # type: ignore[index]
+        lines.append(
+            f"{run['name']:>16}: {run['wall_s']:8.3f}s "
+            f"(jobs={run['jobs']}, {run['points']} points, scale={run['scale']})"
+        )
+    speedup = payload["speedup"]  # type: ignore[index]
+    lines.append(
+        f"{'speedup':>16}: trace-cache {speedup['trace_cache']}x, "
+        f"parallel {speedup['parallel_vs_serial']}x, "
+        f"total {speedup['total']}x "
+        f"({payload['host_cpus']} host CPUs)"
+    )
+    return "\n".join(lines)

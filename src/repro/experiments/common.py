@@ -19,6 +19,7 @@ same shapes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.common.config import MemoryConfig, SimConfig
@@ -91,8 +92,6 @@ def experiment_base_config(
     (see :class:`Scale`); pass an explicit ``counter_cache_size`` to
     override (the Figure 17 sweep does).
     """
-    import dataclasses
-
     if counter_cache_size is None:
         counter_cache_size = scale.counter_cache_size
     base = SimConfig(

@@ -14,10 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.common.errors import ConfigError
 from repro.core.schemes import EVALUATED_SCHEMES, Scheme
 from repro.experiments.common import Scale, experiment_base_config, get_scale
 from repro.experiments.report import render_table
-from repro.sim.simulator import simulate_workload
+from repro.experiments.runner import PointSpec, run_points
 from repro.sim.validation import validate_result
 from repro.workloads.base import WORKLOAD_NAMES
 
@@ -33,37 +34,53 @@ class Fig13Point:
     normalized: float
 
 
-def run(scale: str | Scale = "default", request_sizes=REQUEST_SIZES) -> List[Fig13Point]:
+def run(
+    scale: str | Scale = "default", request_sizes=REQUEST_SIZES, jobs: int = 1
+) -> List[Fig13Point]:
     """Run the full Figure 13 sweep; returns one point per cell."""
+    if EVALUATED_SCHEMES[0] is not Scheme.UNSEC:
+        # The first scheme of each cell is the normalization baseline; a
+        # reordered EVALUATED_SCHEMES would silently normalise to the
+        # wrong system instead of Unsec.
+        raise ConfigError(
+            f"EVALUATED_SCHEMES must start with Unsec (the normalization "
+            f"baseline), got {EVALUATED_SCHEMES[0]!r}"
+        )
     scale = get_scale(scale) if isinstance(scale, str) else scale
     base = experiment_base_config(scale)
+    cells = [(workload, size) for workload in WORKLOAD_NAMES for size in request_sizes]
+    specs = [
+        PointSpec(
+            workload=workload,
+            scheme=scheme,
+            n_ops=scale.n_ops,
+            request_size=size,
+            footprint=scale.footprint,
+            base_config=base,
+            seed=1,
+        )
+        for (workload, size) in cells
+        for scheme in EVALUATED_SCHEMES
+    ]
+    results = iter(run_points(specs, jobs=jobs, label="fig13"))
     points: List[Fig13Point] = []
-    for workload in WORKLOAD_NAMES:
-        for size in request_sizes:
-            baseline = None
-            for scheme in EVALUATED_SCHEMES:
-                result = simulate_workload(
-                    workload,
-                    scheme,
-                    n_ops=scale.n_ops,
+    for workload, size in cells:
+        baseline = None
+        for scheme in EVALUATED_SCHEMES:
+            result = next(results)
+            validate_result(result, encrypted=(scheme is not Scheme.UNSEC))
+            latency = result.avg_txn_latency_ns
+            if baseline is None:
+                baseline = latency
+            points.append(
+                Fig13Point(
+                    workload=workload,
                     request_size=size,
-                    footprint=scale.footprint,
-                    base_config=base,
-                    seed=1,
+                    scheme=scheme,
+                    avg_latency_ns=latency,
+                    normalized=latency / baseline if baseline else 0.0,
                 )
-                validate_result(result, encrypted=(scheme is not Scheme.UNSEC))
-                latency = result.avg_txn_latency_ns
-                if baseline is None:
-                    baseline = latency
-                points.append(
-                    Fig13Point(
-                        workload=workload,
-                        request_size=size,
-                        scheme=scheme,
-                        avg_latency_ns=latency,
-                        normalized=latency / baseline if baseline else 0.0,
-                    )
-                )
+            )
     return points
 
 

@@ -15,7 +15,7 @@ from typing import Dict, List
 from repro.core.schemes import EVALUATED_SCHEMES, Scheme
 from repro.experiments.common import Scale, experiment_base_config, get_scale
 from repro.experiments.report import render_table
-from repro.sim.multicore import simulate_multiprogrammed
+from repro.experiments.runner import PointSpec, run_points
 from repro.workloads.base import WORKLOAD_NAMES
 
 PROGRAM_COUNTS = (1, 4, 8)
@@ -35,35 +35,47 @@ def run(
     program_counts=PROGRAM_COUNTS,
     workloads=WORKLOAD_NAMES,
     request_size: int = 1024,
+    jobs: int = 1,
 ) -> List[Fig14Point]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     base = experiment_base_config(scale)
+    cells = [
+        (workload, n_programs)
+        for workload in workloads
+        for n_programs in program_counts
+    ]
+    specs = [
+        PointSpec(
+            workload=workload,
+            scheme=scheme,
+            n_ops=scale.n_ops_multicore,
+            request_size=request_size,
+            footprint=None,
+            base_config=base,
+            seed=1,
+            n_programs=n_programs,
+        )
+        for (workload, n_programs) in cells
+        for scheme in EVALUATED_SCHEMES
+    ]
+    results = iter(run_points(specs, jobs=jobs, label="fig14"))
     points: List[Fig14Point] = []
-    for workload in workloads:
-        for n_programs in program_counts:
-            baseline = None
-            for scheme in EVALUATED_SCHEMES:
-                result = simulate_multiprogrammed(
-                    workload,
-                    scheme,
+    for workload, n_programs in cells:
+        baseline = None
+        for scheme in EVALUATED_SCHEMES:
+            result = next(results)
+            latency = result.avg_txn_latency_ns
+            if baseline is None:
+                baseline = latency
+            points.append(
+                Fig14Point(
+                    workload=workload,
                     n_programs=n_programs,
-                    n_ops=scale.n_ops_multicore,
-                    request_size=request_size,
-                    base_config=base,
-                    seed=1,
+                    scheme=scheme,
+                    avg_latency_ns=latency,
+                    normalized=latency / baseline if baseline else 0.0,
                 )
-                latency = result.avg_txn_latency_ns
-                if baseline is None:
-                    baseline = latency
-                points.append(
-                    Fig14Point(
-                        workload=workload,
-                        n_programs=n_programs,
-                        scheme=scheme,
-                        avg_latency_ns=latency,
-                        normalized=latency / baseline if baseline else 0.0,
-                    )
-                )
+            )
     return points
 
 

@@ -13,7 +13,7 @@ from typing import Dict, List
 from repro.core.schemes import EVALUATED_SCHEMES, Scheme
 from repro.experiments.common import Scale, experiment_base_config, get_scale
 from repro.experiments.report import render_table
-from repro.sim.simulator import simulate_workload
+from repro.experiments.runner import PointSpec, run_points
 from repro.sim.validation import validate_result
 from repro.workloads.base import WORKLOAD_NAMES
 
@@ -29,36 +29,44 @@ class Fig15Point:
     normalized: float
 
 
-def run(scale: str | Scale = "default", request_sizes=REQUEST_SIZES) -> List[Fig15Point]:
+def run(
+    scale: str | Scale = "default", request_sizes=REQUEST_SIZES, jobs: int = 1
+) -> List[Fig15Point]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     base = experiment_base_config(scale)
+    cells = [(workload, size) for workload in WORKLOAD_NAMES for size in request_sizes]
+    specs = [
+        PointSpec(
+            workload=workload,
+            scheme=scheme,
+            n_ops=scale.n_ops,
+            request_size=size,
+            footprint=scale.footprint,
+            base_config=base,
+            seed=1,
+        )
+        for (workload, size) in cells
+        for scheme in EVALUATED_SCHEMES
+    ]
+    results = iter(run_points(specs, jobs=jobs, label="fig15"))
     points: List[Fig15Point] = []
-    for workload in WORKLOAD_NAMES:
-        for size in request_sizes:
-            baseline = None
-            for scheme in EVALUATED_SCHEMES:
-                result = simulate_workload(
-                    workload,
-                    scheme,
-                    n_ops=scale.n_ops,
+    for workload, size in cells:
+        baseline = None
+        for scheme in EVALUATED_SCHEMES:
+            result = next(results)
+            validate_result(result, encrypted=(scheme is not Scheme.UNSEC))
+            writes = result.surviving_writes
+            if baseline is None:
+                baseline = writes
+            points.append(
+                Fig15Point(
+                    workload=workload,
                     request_size=size,
-                    footprint=scale.footprint,
-                    base_config=base,
-                    seed=1,
+                    scheme=scheme,
+                    writes=writes,
+                    normalized=writes / baseline if baseline else 0.0,
                 )
-                validate_result(result, encrypted=(scheme is not Scheme.UNSEC))
-                writes = result.surviving_writes
-                if baseline is None:
-                    baseline = writes
-                points.append(
-                    Fig15Point(
-                        workload=workload,
-                        request_size=size,
-                        scheme=scheme,
-                        writes=writes,
-                        normalized=writes / baseline if baseline else 0.0,
-                    )
-                )
+            )
     return points
 
 

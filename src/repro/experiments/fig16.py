@@ -14,7 +14,7 @@ from typing import Dict, List
 from repro.core.schemes import Scheme
 from repro.experiments.common import Scale, experiment_base_config, get_scale
 from repro.experiments.report import render_table
-from repro.sim.simulator import simulate_workload
+from repro.experiments.runner import PointSpec, run_points
 from repro.workloads.base import WORKLOAD_NAMES
 
 QUEUE_LENGTHS = (8, 16, 32, 64, 128)
@@ -32,41 +32,43 @@ def run(
     scale: str | Scale = "default",
     queue_lengths=QUEUE_LENGTHS,
     request_size: int = 1024,
+    jobs: int = 1,
 ) -> List[Fig16Point]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
+    cells = [
+        (workload, entries)
+        for workload in WORKLOAD_NAMES
+        for entries in queue_lengths
+    ]
+    specs = [
+        PointSpec(
+            workload=workload,
+            scheme=scheme,
+            n_ops=scale.n_ops,
+            request_size=request_size,
+            footprint=scale.footprint,
+            base_config=experiment_base_config(scale, write_queue_entries=entries),
+            seed=1,
+        )
+        for (workload, entries) in cells
+        for scheme in (Scheme.WT_BASE, Scheme.SUPERMEM)
+    ]
+    results = iter(run_points(specs, jobs=jobs, label="fig16"))
     points: List[Fig16Point] = []
-    for workload in WORKLOAD_NAMES:
-        for entries in queue_lengths:
-            base = experiment_base_config(scale, write_queue_entries=entries)
-            wt = simulate_workload(
-                workload,
-                Scheme.WT_BASE,
-                n_ops=scale.n_ops,
-                request_size=request_size,
-                footprint=scale.footprint,
-                base_config=base,
-                seed=1,
+    for workload, entries in cells:
+        wt = next(results)
+        sm = next(results)
+        reduced = 0.0
+        if wt.counter_writes:
+            reduced = sm.coalesced_counter_writes / wt.counter_writes
+        points.append(
+            Fig16Point(
+                workload=workload,
+                wq_entries=entries,
+                reduced_counter_write_fraction=reduced,
+                supermem_latency_ns=sm.avg_txn_latency_ns,
             )
-            sm = simulate_workload(
-                workload,
-                Scheme.SUPERMEM,
-                n_ops=scale.n_ops,
-                request_size=request_size,
-                footprint=scale.footprint,
-                base_config=base,
-                seed=1,
-            )
-            reduced = 0.0
-            if wt.counter_writes:
-                reduced = sm.coalesced_counter_writes / wt.counter_writes
-            points.append(
-                Fig16Point(
-                    workload=workload,
-                    wq_entries=entries,
-                    reduced_counter_write_fraction=reduced,
-                    supermem_latency_ns=sm.avg_txn_latency_ns,
-                )
-            )
+        )
     return points
 
 

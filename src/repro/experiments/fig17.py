@@ -16,7 +16,7 @@ from typing import Dict, List
 from repro.core.schemes import Scheme
 from repro.experiments.common import Scale, experiment_base_config, get_scale
 from repro.experiments.report import render_table
-from repro.sim.simulator import simulate_workload
+from repro.experiments.runner import PointSpec, run_points
 from repro.workloads.base import WORKLOAD_NAMES
 
 CACHE_SIZES = (1 << 10, 16 << 10, 256 << 10, 4 << 20)
@@ -34,36 +34,40 @@ def run(
     scale: str | Scale = "default",
     cache_sizes=CACHE_SIZES,
     request_size: int = 1024,
+    jobs: int = 1,
 ) -> List[Fig17Point]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
+    cells = [(workload, size) for workload in WORKLOAD_NAMES for size in cache_sizes]
+    # Cache-sensitivity needs steady state: longer measured runs with a
+    # warmup so cross-transaction reuse (what a bigger cache captures)
+    # dominates cold compulsory misses.
+    specs = [
+        PointSpec(
+            workload=workload,
+            scheme=Scheme.SUPERMEM,
+            n_ops=4 * scale.n_ops,
+            request_size=request_size,
+            footprint=scale.footprint,
+            base_config=experiment_base_config(scale, counter_cache_size=size),
+            seed=1,
+            warmup_ops=scale.n_ops,
+        )
+        for (workload, size) in cells
+    ]
+    results = iter(run_points(specs, jobs=jobs, label="fig17"))
     points: List[Fig17Point] = []
-    for workload in WORKLOAD_NAMES:
-        for size in cache_sizes:
-            base = experiment_base_config(scale, counter_cache_size=size)
-            # Cache-sensitivity needs steady state: longer measured runs
-            # with a warmup so cross-transaction reuse (what a bigger
-            # cache captures) dominates cold compulsory misses.
-            result = simulate_workload(
-                workload,
-                Scheme.SUPERMEM,
-                n_ops=4 * scale.n_ops,
-                request_size=request_size,
-                footprint=scale.footprint,
-                base_config=base,
-                seed=1,
-                warmup_ops=scale.n_ops,
+    for workload, size in cells:
+        result = next(results)
+        # Report the read-path hit rate: those are the hits that let
+        # OTP generation overlap the data fetch (Figure 2b).
+        points.append(
+            Fig17Point(
+                workload=workload,
+                counter_cache_size=size,
+                hit_rate=result.counter_cache_read_hit_rate,
+                total_time_ns=result.total_time_ns,
             )
-            # Report the read-path hit rate: those are the hits that let
-            # OTP generation overlap the data fetch (Figure 2b).
-            hit_rate = result.counter_cache_read_hit_rate
-            points.append(
-                Fig17Point(
-                    workload=workload,
-                    counter_cache_size=size,
-                    hit_rate=hit_rate,
-                    total_time_ns=result.total_time_ns,
-                )
-            )
+        )
     return points
 
 

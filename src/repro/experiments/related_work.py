@@ -22,7 +22,7 @@ from repro.core.schemes import Scheme, scheme_config
 from repro.core.system import SecureMemorySystem
 from repro.experiments.common import Scale, experiment_base_config, get_scale
 from repro.experiments.report import render_table
-from repro.sim.simulator import simulate_workload
+from repro.experiments.runner import PointSpec, run_points
 
 COMPARED = (Scheme.WT_BASE, Scheme.SCA, Scheme.OSIRIS, Scheme.SUPERMEM)
 
@@ -43,30 +43,35 @@ class RecoveryRow:
 
 
 def run_runtime(
-    scale: str | Scale = "default", workload: str = "array", request_size: int = 1024
+    scale: str | Scale = "default",
+    workload: str = "array",
+    request_size: int = 1024,
+    jobs: int = 1,
 ) -> List[RuntimeRow]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     base = experiment_base_config(scale)
-    rows = []
-    for scheme in COMPARED:
-        r = simulate_workload(
-            workload,
-            scheme,
+    specs = [
+        PointSpec(
+            workload=workload,
+            scheme=scheme,
             n_ops=scale.n_ops,
             request_size=request_size,
             footprint=scale.footprint,
             base_config=base,
             seed=1,
         )
-        rows.append(
-            RuntimeRow(
-                scheme=scheme,
-                avg_latency_ns=r.avg_txn_latency_ns,
-                nvm_writes=r.surviving_writes,
-                counter_writes_surviving=r.counter_writes - r.coalesced_counter_writes,
-            )
+        for scheme in COMPARED
+    ]
+    results = run_points(specs, jobs=jobs, label="related-work")
+    return [
+        RuntimeRow(
+            scheme=scheme,
+            avg_latency_ns=r.avg_txn_latency_ns,
+            nvm_writes=r.surviving_writes,
+            counter_writes_surviving=r.counter_writes - r.coalesced_counter_writes,
         )
-    return rows
+        for scheme, r in zip(COMPARED, results)
+    ]
 
 
 def run_recovery(written_line_counts=(64, 256, 1024)) -> List[RecoveryRow]:

@@ -1,0 +1,228 @@
+"""Parallel experiment runner: fan a grid of simulation points over processes.
+
+Every experiment in the suite is an embarrassingly parallel grid of
+independent simulation points — fig13 alone is 5 workloads x 3 sizes x 6
+schemes = 90 serial runs. This module turns such grids into lists of
+picklable :class:`PointSpec` records and executes them either in-process
+(``jobs=1``, the default) or across a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism: results are keyed by spec position, never by completion
+order — ``run_points`` returns ``results[i]`` for ``specs[i]`` regardless
+of which worker finished first, and each point simulates a fresh, isolated
+memory system, so ``--jobs N`` output is bit-identical to serial. The
+guarantee is asserted point-for-point (including every stats counter) by
+``tests/experiments/test_runner.py``.
+
+Trace reuse: each worker process keeps its own
+:mod:`repro.sim.trace_cache`, so a worker that simulates several schemes
+of the same (workload, size, seed) point generates the trace once.
+Serial runs share the parent process's cache the same way.
+
+Observability: per-point wall times are aggregated into a
+:class:`repro.obs.histogram.Histogram` on the returned :class:`RunnerReport`
+and progress is logged to stderr. Simulation-time tracers
+(:class:`repro.obs.Tracer`) remain per-run objects and are not supported
+across process boundaries — trace a single point with ``repro simulate
+--trace`` instead (see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.common.config import SimConfig
+from repro.common.errors import ConfigError
+from repro.core.schemes import Scheme
+from repro.obs.histogram import Histogram
+from repro.sim.metrics import SimResult
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One independent simulation point of an experiment grid.
+
+    Picklable by construction (enums, numbers, strings, and the frozen
+    ``SimConfig`` dataclass), so specs can cross process boundaries.
+    ``n_programs`` selects the kernel: ``None`` runs the single-core
+    :func:`~repro.sim.simulator.simulate_workload`; an integer runs the
+    multi-programmed :func:`~repro.sim.multicore.simulate_multiprogrammed`
+    with that many programs (``workload`` may then be a tuple naming one
+    workload per program for heterogeneous mixes).
+    """
+
+    workload: Union[str, Tuple[str, ...]]
+    scheme: Scheme
+    n_ops: int
+    request_size: int = 1024
+    #: ``None`` lets the multi-programmed kernel default to one bank's worth.
+    footprint: Optional[int] = 1 << 20
+    base_config: Optional[SimConfig] = None
+    seed: int = 1
+    warmup_ops: int = 0
+    counter_organization: str = "split"
+    #: ``None`` = single-core; N = multi-programmed with N programs.
+    n_programs: Optional[int] = None
+
+
+@dataclass
+class RunnerReport:
+    """Wall-clock accounting for one :func:`run_points` call."""
+
+    label: str
+    jobs: int
+    n_points: int
+    wall_s: float = 0.0
+    #: Distribution of per-point wall times (seconds; serial runs only —
+    #: parallel workers don't report individual timings back).
+    point_wall_s: Histogram = field(default_factory=Histogram)
+    #: Parent-process trace-cache (hits, misses) delta, serial runs only.
+    trace_cache: Tuple[int, int] = (0, 0)
+
+
+#: Called after each completed point with (done, total).
+ProgressFn = Callable[[int, int], None]
+
+
+def _run_point(spec: PointSpec) -> SimResult:
+    """Execute one spec (also the child-process entry point)."""
+    if spec.n_programs is not None:
+        from repro.sim.multicore import simulate_multiprogrammed
+
+        workload = (
+            list(spec.workload)
+            if isinstance(spec.workload, tuple)
+            else spec.workload
+        )
+        return simulate_multiprogrammed(
+            workload,
+            spec.scheme,
+            n_programs=spec.n_programs,
+            n_ops=spec.n_ops,
+            request_size=spec.request_size,
+            footprint=spec.footprint,
+            base_config=spec.base_config,
+            seed=spec.seed,
+        )
+    from repro.sim.simulator import simulate_workload
+
+    if not isinstance(spec.workload, str):
+        raise ConfigError("single-core point needs exactly one workload name")
+    return simulate_workload(
+        spec.workload,
+        spec.scheme,
+        n_ops=spec.n_ops,
+        request_size=spec.request_size,
+        footprint=spec.footprint,
+        base_config=spec.base_config,
+        seed=spec.seed,
+        warmup_ops=spec.warmup_ops,
+        counter_organization=spec.counter_organization,
+    )
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs auto`` value: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def _log_progress(label: str, done: int, total: int, jobs: int) -> None:
+    print(
+        f"[runner] {label}: {done}/{total} points (jobs={jobs})",
+        file=sys.stderr,
+    )
+
+
+def run_points(
+    specs: Sequence[PointSpec],
+    jobs: int = 1,
+    label: str = "sweep",
+    progress: Optional[ProgressFn] = None,
+) -> List[SimResult]:
+    """Run every spec; returns results in spec order (deterministic).
+
+    ``jobs=1`` executes in-process; ``jobs>1`` fans out over a process
+    pool. ``progress`` (or a default stderr logger for multi-point grids)
+    is invoked after each completed point with ``(done, total)``.
+    """
+    results, _ = run_points_report(specs, jobs=jobs, label=label, progress=progress)
+    return results
+
+
+def run_points_report(
+    specs: Sequence[PointSpec],
+    jobs: int = 1,
+    label: str = "sweep",
+    progress: Optional[ProgressFn] = None,
+) -> Tuple[List[SimResult], RunnerReport]:
+    """Like :func:`run_points` but also returns the wall-clock report."""
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    specs = list(specs)
+    total = len(specs)
+    report = RunnerReport(label=label, jobs=jobs, n_points=total)
+    if progress is None and total > 1:
+        # Log at ~10% granularity so big sweeps stay readable.
+        step = max(1, total // 10)
+        progress = lambda done, n: (
+            _log_progress(label, done, n, jobs) if done % step == 0 or done == n else None
+        )
+    started = time.perf_counter()
+    if jobs == 1 or total <= 1:
+        results = _run_serial(specs, report, progress)
+    else:
+        results = _run_parallel(specs, jobs, progress)
+    report.wall_s = time.perf_counter() - started
+    return results, report
+
+
+def _run_serial(
+    specs: List[PointSpec],
+    report: RunnerReport,
+    progress: Optional[ProgressFn],
+) -> List[SimResult]:
+    from repro.sim import trace_cache
+
+    hits0, misses0 = trace_cache.cache_stats()
+    results: List[SimResult] = []
+    for index, spec in enumerate(specs):
+        t0 = time.perf_counter()
+        results.append(_run_point(spec))
+        report.point_wall_s.record(time.perf_counter() - t0)
+        if progress is not None:
+            progress(index + 1, len(specs))
+    hits1, misses1 = trace_cache.cache_stats()
+    report.trace_cache = (hits1 - hits0, misses1 - misses0)
+    return results
+
+
+def _run_parallel(
+    specs: List[PointSpec],
+    jobs: int,
+    progress: Optional[ProgressFn],
+) -> List[SimResult]:
+    total = len(specs)
+    results: List[Optional[SimResult]] = [None] * total
+    # Workers inherit nothing mutable from the grid: each future carries
+    # one picklable spec and returns one picklable SimResult. Results are
+    # stored at the spec's index, so completion order never shows.
+    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+        pending = {
+            pool.submit(_run_point, spec): index
+            for index, spec in enumerate(specs)
+        }
+        done_count = 0
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                results[index] = future.result()
+                done_count += 1
+                if progress is not None:
+                    progress(done_count, total)
+    return results  # type: ignore[return-value]

@@ -22,12 +22,21 @@ sits) is implemented for the ablation benchmark.
 Durability: the queue sits inside the ADR domain — on a power failure the
 battery drains every entry to NVM. ``adr_flush_order()`` exposes the
 entries for crash modelling.
+
+Implementation: the FIFO is an insertion-ordered dict keyed by each
+entry's monotonic ``seq`` (Python dicts preserve insertion order, and
+deleting a key does not disturb it), plus two per-line indices kept in
+lockstep — ``line -> [entries in FIFO order]`` for read forwarding and
+``line -> [counter entries in FIFO order]`` for CWC. Appends, removals,
+:meth:`find_line`, and :meth:`_find_counter` are all O(1) amortised
+(per-line buckets hold at most a handful of entries), replacing the
+whole-queue linear scans the append/read/drain hot paths used to pay.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.stats import Stats
@@ -71,7 +80,12 @@ class WriteQueue:
         self.cwc_policy = cwc_policy
         self._stats = stats
         self._tracer = tracer
-        self._entries: List[WQEntry] = []
+        #: FIFO store: seq -> entry, in append (insertion) order.
+        self._entries: Dict[int, WQEntry] = {}
+        #: line -> queued entries for that line, FIFO order (read forwarding).
+        self._by_line: Dict[int, List[WQEntry]] = {}
+        #: line -> queued *counter* entries for that line, FIFO order (CWC).
+        self._counters_by_line: Dict[int, List[WQEntry]] = {}
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -87,6 +101,30 @@ class WriteQueue:
 
     def has_space(self, n: int = 1) -> bool:
         return len(self._entries) + n <= self.capacity
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+
+    def _index(self, entry: WQEntry) -> None:
+        self._by_line.setdefault(entry.line, []).append(entry)
+        if entry.is_counter:
+            self._counters_by_line.setdefault(entry.line, []).append(entry)
+
+    def _unindex(self, entry: WQEntry) -> None:
+        bucket = self._by_line[entry.line]
+        bucket.remove(entry)
+        if not bucket:
+            del self._by_line[entry.line]
+        if entry.is_counter:
+            bucket = self._counters_by_line[entry.line]
+            bucket.remove(entry)
+            if not bucket:
+                del self._counters_by_line[entry.line]
+
+    def _delete(self, entry: WQEntry) -> None:
+        del self._entries[entry.seq]
+        self._unindex(entry)
 
     # ------------------------------------------------------------------
     # Append path (with CWC)
@@ -110,7 +148,7 @@ class WriteQueue:
                         entry.enq_time, entry.line, self.cwc_policy
                     )
                 if self.cwc_policy == CWC_REMOVE_OLDER:
-                    self._entries.remove(older)
+                    self._delete(older)
                 else:
                     # merge-in-place: refresh the older slot and stop.
                     older.payload = entry.payload
@@ -120,7 +158,8 @@ class WriteQueue:
             raise SimulationError("append to full write queue")
         entry.seq = self._seq
         self._seq += 1
-        self._entries.append(entry)
+        self._entries[entry.seq] = entry
+        self._index(entry)
         self._count_append(entry)
         self._stats.maximize("wq", "peak_occupancy", len(self._entries))
         return coalesced
@@ -137,32 +176,31 @@ class WriteQueue:
         return self.cwc_enabled and self._find_counter(line) is not None
 
     def _find_counter(self, line: int) -> Optional[WQEntry]:
-        # The flag bit makes this a scan over counter entries only.
-        for entry in self._entries:
-            if entry.is_counter and entry.line == line:
-                return entry
-        return None
+        # The flag bit makes this an O(1) index lookup; the oldest queued
+        # counter entry for the line (FIFO order) is the coalesce target.
+        bucket = self._counters_by_line.get(line)
+        return bucket[0] if bucket else None
 
     # ------------------------------------------------------------------
     # Drain side
     # ------------------------------------------------------------------
 
     def __iter__(self) -> Iterator[WQEntry]:
-        return iter(self._entries)
+        return iter(self._entries.values())
 
     def remove(self, entry: WQEntry) -> None:
         """Pop a specific entry chosen by the drain scheduler."""
-        self._entries.remove(entry)
+        if self._entries.get(entry.seq) is not entry:
+            raise ValueError("entry not in write queue")
+        self._delete(entry)
 
     def find_line(self, line: int) -> Optional[WQEntry]:
         """Youngest queued write to ``line`` (for read forwarding)."""
-        for entry in reversed(self._entries):
-            if entry.line == line:
-                return entry
-        return None
+        bucket = self._by_line.get(line)
+        return bucket[-1] if bucket else None
 
     def oldest(self) -> Optional[WQEntry]:
-        return self._entries[0] if self._entries else None
+        return next(iter(self._entries.values())) if self._entries else None
 
     # ------------------------------------------------------------------
     # Crash behaviour (ADR)
@@ -170,7 +208,9 @@ class WriteQueue:
 
     def adr_flush_order(self) -> List[WQEntry]:
         """Entries in the order the ADR battery drains them on a failure."""
-        return list(self._entries)
+        return list(self._entries.values())
 
     def clear(self) -> None:
         self._entries.clear()
+        self._by_line.clear()
+        self._counters_by_line.clear()

@@ -11,6 +11,7 @@ simulation.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional
 
 from repro.cache.sram import SetAssociativeCache
@@ -22,8 +23,8 @@ from repro.core.system import SecureMemorySystem
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import CoreEngine
 from repro.sim.metrics import SimResult
+from repro.sim.trace_cache import cached_generate_trace
 from repro.txn.persist import TraceOp
-from repro.workloads.generator import generate_trace
 
 
 class MulticoreSimulator:
@@ -99,8 +100,6 @@ def simulate_multiprogrammed(
     space, so with ``n_programs == n_banks`` every bank is busy — the
     XBank worst case the paper calls out.
     """
-    import dataclasses
-
     if isinstance(workload, str):
         if n_programs is None:
             raise ConfigError("n_programs required with a single workload name")
@@ -122,7 +121,7 @@ def simulate_multiprogrammed(
     region = amap.capacity // n_programs
     traces = []
     for program, name in enumerate(workloads):
-        trace = generate_trace(
+        trace = cached_generate_trace(
             name,
             n_ops=n_ops,
             request_size=request_size,

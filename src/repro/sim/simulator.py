@@ -8,6 +8,7 @@ experiments and benchmarks: workload name + scheme + knobs -> result.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, Optional
 
 from repro.common.config import SimConfig
@@ -17,8 +18,8 @@ from repro.core.system import SecureMemorySystem
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import CoreEngine
 from repro.sim.metrics import SimResult
+from repro.sim.trace_cache import cached_generate_trace
 from repro.txn.persist import TraceOp
-from repro.workloads.generator import generate_trace
 
 
 class Simulator:
@@ -90,11 +91,13 @@ def simulate_workload(
     timing-only (``functional=False``): traces carry no payloads, and
     skipping per-write encryption/serialisation keeps sweeps fast without
     touching any latency accounting.
-    """
-    import dataclasses
 
+    Trace generation is memoized per process (:mod:`repro.sim.trace_cache`):
+    sweeping several schemes over the same (workload, size, seed) point
+    generates the trace once and replays it under each scheme.
+    """
     cfg = dataclasses.replace(scheme_config(scheme, base_config), functional=False)
-    trace = generate_trace(
+    trace = cached_generate_trace(
         workload,
         n_ops=n_ops,
         request_size=request_size,

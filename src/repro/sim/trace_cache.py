@@ -1,0 +1,123 @@
+"""Per-process memoization of generated workload traces.
+
+Every experiment sweep replays the *same* seeded trace under several
+schemes — fig13 alone generates each (workload, size) trace six times, once
+per scheme, even though trace generation is completely independent of the
+scheme being simulated. This module caches :func:`~repro.workloads
+.generator.generate_trace` results keyed on every input that determines
+the trace: ``(workload, n_ops, request_size, footprint, heap_base,
+heap_capacity, seed, warmup_ops, track_payloads)``.
+
+Safety: traces are lists of plain tuples and the simulator only *reads*
+them (the timing state lives in :class:`~repro.memory.write_queue.WQEntry`
+objects built per run), so sharing one :class:`GeneratedTrace` across runs
+is sound. A cached run is bit-identical to an uncached one — asserted by
+``tests/sim/test_trace_cache.py``.
+
+The cache is per-process: each worker of the parallel experiment runner
+(:mod:`repro.experiments.runner`) builds its own, so a trace is generated
+at most once per worker regardless of how many schemes that worker
+simulates. A small LRU bound keeps long design-space explorations from
+accumulating traces without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.workloads.generator import GeneratedTrace, generate_trace
+
+#: Maximum distinct traces retained per process (LRU eviction). A full
+#: figure sweep needs ~15 (5 workloads x 3 sizes); 64 leaves generous
+#: headroom for ablation grids without unbounded growth.
+MAX_ENTRIES = 64
+
+_cache: "OrderedDict[Tuple, GeneratedTrace]" = OrderedDict()
+_enabled = True
+_hits = 0
+_misses = 0
+
+
+def configure(enabled: bool) -> None:
+    """Globally enable/disable memoization (disabling also clears)."""
+    global _enabled
+    _enabled = enabled
+    if not enabled:
+        clear()
+
+
+def clear() -> None:
+    """Drop all cached traces and reset the hit/miss counters."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0
+
+
+def cache_stats() -> Tuple[int, int]:
+    """``(hits, misses)`` since the last :func:`clear`."""
+    return _hits, _misses
+
+
+def cached_generate_trace(
+    name: str,
+    n_ops: int,
+    request_size: int = 1024,
+    footprint: int = 1 << 20,
+    heap_base: int = 0,
+    heap_capacity: Optional[int] = None,
+    seed: int = 1,
+    warmup_ops: int = 0,
+    track_payloads: bool = False,
+) -> GeneratedTrace:
+    """Memoized :func:`~repro.workloads.generator.generate_trace`.
+
+    The returned trace is shared between callers and must be treated as
+    immutable (it is: ops are tuples).
+    """
+    global _hits, _misses
+    if not _enabled:
+        return generate_trace(
+            name,
+            n_ops=n_ops,
+            request_size=request_size,
+            footprint=footprint,
+            heap_base=heap_base,
+            heap_capacity=heap_capacity,
+            seed=seed,
+            warmup_ops=warmup_ops,
+            track_payloads=track_payloads,
+        )
+    key = (
+        name,
+        n_ops,
+        request_size,
+        footprint,
+        heap_base,
+        heap_capacity,
+        seed,
+        warmup_ops,
+        track_payloads,
+    )
+    trace = _cache.get(key)
+    if trace is not None:
+        _hits += 1
+        _cache.move_to_end(key)
+        return trace
+    _misses += 1
+    trace = generate_trace(
+        name,
+        n_ops=n_ops,
+        request_size=request_size,
+        footprint=footprint,
+        heap_base=heap_base,
+        heap_capacity=heap_capacity,
+        seed=seed,
+        warmup_ops=warmup_ops,
+        track_payloads=track_payloads,
+    )
+    _cache[key] = trace
+    while len(_cache) > MAX_ENTRIES:
+        _cache.popitem(last=False)
+    return trace

@@ -1,0 +1,163 @@
+"""Tests for the parallel experiment runner: determinism and plumbing.
+
+The load-bearing guarantees:
+
+* ``jobs=N`` output is **bit-identical** to serial — point for point,
+  including every stats counter an experiment's ``render`` might read;
+* results come back in spec order, never completion order;
+* a fixed-seed golden digest pins the fig13 smoke numbers, so neither the
+  runner, the trace cache, nor the write-queue indexing can silently
+  shift results.
+"""
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.schemes import EVALUATED_SCHEMES, Scheme
+from repro.experiments import fig13
+from repro.experiments.common import experiment_base_config, get_scale
+from repro.experiments.runner import (
+    PointSpec,
+    RunnerReport,
+    run_points,
+    run_points_report,
+)
+
+#: sha256 over the canonical serialization in :func:`_digest` for
+#: ``fig13.run("smoke", request_sizes=(1024,))``. Regenerate ONLY for an
+#: intentional model change:
+#:   PYTHONPATH=src python -c "from tests.experiments.test_runner import \
+#:       _digest; from repro.experiments import fig13; \
+#:       print(_digest(fig13.run('smoke', request_sizes=(1024,))))"
+FIG13_SMOKE_1KB_DIGEST = (
+    "dcf3222ca119870bd05bd8b09eb9fc6262b0b65aff376f6dc069607b50ca1dc4"
+)
+
+
+def _digest(points) -> str:
+    canon = "\n".join(
+        f"{p.workload}/{p.request_size}/{p.scheme.value}"
+        f"={p.avg_latency_ns!r}/{p.normalized!r}"
+        for p in points
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def _specs(n_ops=12, schemes=(Scheme.UNSEC, Scheme.WT_BASE, Scheme.SUPERMEM)):
+    base = experiment_base_config(get_scale("smoke"))
+    return [
+        PointSpec(
+            workload=workload,
+            scheme=scheme,
+            n_ops=n_ops,
+            request_size=256,
+            footprint=1 << 20,
+            base_config=base,
+            seed=1,
+        )
+        for workload in ("array", "queue")
+        for scheme in schemes
+    ]
+
+
+def _assert_identical(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left.total_time_ns == right.total_time_ns
+        assert left.txn_latencies == right.txn_latencies
+        assert left.stats.snapshot() == right.stats.snapshot()
+
+
+class TestRunPoints:
+    def test_serial_matches_direct_simulation(self):
+        from repro.sim.simulator import simulate_workload
+
+        specs = _specs()
+        results = run_points(specs, jobs=1)
+        for spec, result in zip(specs, results):
+            direct = simulate_workload(
+                spec.workload,
+                spec.scheme,
+                n_ops=spec.n_ops,
+                request_size=spec.request_size,
+                footprint=spec.footprint,
+                base_config=spec.base_config,
+                seed=spec.seed,
+            )
+            assert result.total_time_ns == direct.total_time_ns
+            assert result.stats.snapshot() == direct.stats.snapshot()
+
+    def test_parallel_bit_identical_to_serial(self):
+        """The core determinism guarantee, down to every stats counter."""
+        specs = _specs()
+        _assert_identical(
+            run_points(specs, jobs=1), run_points(specs, jobs=2)
+        )
+
+    def test_multiprogrammed_specs(self):
+        base = experiment_base_config(get_scale("smoke"))
+        specs = [
+            PointSpec(
+                workload="queue",
+                scheme=scheme,
+                n_ops=8,
+                request_size=256,
+                footprint=None,
+                base_config=base,
+                seed=1,
+                n_programs=2,
+            )
+            for scheme in (Scheme.UNSEC, Scheme.SUPERMEM)
+        ]
+        _assert_identical(
+            run_points(specs, jobs=1), run_points(specs, jobs=2)
+        )
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigError):
+            run_points(_specs(), jobs=0)
+
+    def test_single_core_spec_rejects_workload_tuple(self):
+        spec = dataclasses.replace(_specs()[0], workload=("array", "queue"))
+        with pytest.raises(ConfigError):
+            run_points([spec])
+
+    def test_report_accounting(self):
+        specs = _specs(n_ops=5)
+        results, report = run_points_report(specs, jobs=1, label="unit")
+        assert isinstance(report, RunnerReport)
+        assert report.label == "unit"
+        assert report.n_points == len(specs) == len(results)
+        assert report.wall_s > 0
+        assert report.point_wall_s.n == len(specs)
+        hits, misses = report.trace_cache
+        # 2 workloads x 3 schemes: each workload's trace generated once.
+        assert hits + misses >= len(specs)
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        specs = _specs(n_ops=5)
+        run_points(specs, jobs=1, progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(i + 1, len(specs)) for i in range(len(specs))]
+
+
+@pytest.mark.slow
+class TestFig13Determinism:
+    def test_parallel_points_identical_and_golden(self):
+        serial = fig13.run("smoke", request_sizes=(1024,))
+        parallel = fig13.run("smoke", request_sizes=(1024,), jobs=4)
+        # Point-for-point equality (dataclass equality covers workload,
+        # size, scheme, raw latency, and the normalised value).
+        assert serial == parallel
+        assert _digest(serial) == FIG13_SMOKE_1KB_DIGEST
+        assert _digest(parallel) == FIG13_SMOKE_1KB_DIGEST
+
+    def test_baseline_guard_rejects_reordered_schemes(self, monkeypatch):
+        monkeypatch.setattr(
+            fig13, "EVALUATED_SCHEMES", tuple(reversed(EVALUATED_SCHEMES))
+        )
+        with pytest.raises(ConfigError):
+            fig13.run("smoke", request_sizes=(1024,))
