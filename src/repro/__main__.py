@@ -23,7 +23,11 @@ import time
 
 
 def _run_experiment(
-    name: str, scale: str, json_path: str | None = None, jobs: int = 1
+    name: str,
+    scale: str,
+    json_path: str | None = None,
+    jobs: int = 1,
+    journal: str | None = None,
 ) -> str:
     """Run one experiment by name; returns rendered markdown.
 
@@ -31,6 +35,8 @@ def _run_experiment(
     (experiments that produce point lists only). ``jobs`` fans the
     experiment's simulation grid over that many worker processes
     (results are bit-identical to serial; see docs/PERFORMANCE.md).
+    ``journal`` enables ``--resume``: completed sweep points are appended
+    to that JSONL file and skipped on a re-run (see docs/CLI.md).
     """
     from repro.experiments import (
         ablations,
@@ -47,30 +53,32 @@ def _run_experiment(
     points = None
     if name == "table1":
         # Crash injection is a handful of sequential scenarios, not a
-        # sweep grid — always serial.
+        # sweep grid — always serial (and never journaled: each scenario
+        # is cheap and stateful crash plumbing doesn't round-trip).
         points = table1.run()
         rendered = table1.render(points)
     elif name == "related":
         rendered = related_work.render(
-            related_work.run_runtime(scale, jobs=jobs), related_work.run_recovery()
+            related_work.run_runtime(scale, jobs=jobs, journal=journal),
+            related_work.run_recovery(),
         )
     elif name == "fig13":
-        points = fig13.run(scale, jobs=jobs)
+        points = fig13.run(scale, jobs=jobs, journal=journal)
         rendered = fig13.render(points)
     elif name == "fig14":
-        points = fig14.run(scale, jobs=jobs)
+        points = fig14.run(scale, jobs=jobs, journal=journal)
         rendered = fig14.render(points)
     elif name == "fig15":
-        points = fig15.run(scale, jobs=jobs)
+        points = fig15.run(scale, jobs=jobs, journal=journal)
         rendered = fig15.render(points)
     elif name == "fig16":
-        points = fig16.run(scale, jobs=jobs)
+        points = fig16.run(scale, jobs=jobs, journal=journal)
         rendered = fig16.render(points)
     elif name == "fig17":
-        points = fig17.run(scale, jobs=jobs)
+        points = fig17.run(scale, jobs=jobs, journal=journal)
         rendered = fig17.render(points)
     elif name == "ablations":
-        rendered = ablations.render_all(scale, jobs=jobs)
+        rendered = ablations.render_all(scale, jobs=jobs, journal=journal)
     else:
         raise SystemExit(f"unknown experiment {name!r}; see `python -m repro list`")
     if json_path and points is not None:
@@ -101,7 +109,9 @@ _DESCRIPTIONS = {
 }
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argparse tree (also introspected by the docs-drift
+    test, which asserts every subcommand and flag appears in docs/CLI.md)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="SuperMem (MICRO 2019) reproduction experiment runner",
@@ -138,6 +148,31 @@ def main(argv=None) -> int:
         metavar="N",
         help="worker processes for the sweep grid ('auto' = CPU count; "
         "default 1 = serial; output is bit-identical either way)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="journal completed sweep points to this JSONL file and skip "
+        "points already journaled there — an interrupted sweep re-run "
+        "with the same journal is bit-identical to an uninterrupted one "
+        "(see docs/CLI.md and docs/PERFORMANCE.md)",
+    )
+    run_parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any sweep point whose worker exceeds this "
+        "wall-clock budget (default: no timeout)",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="total execution attempts per sweep point before it is "
+        "reported as failed (default 3; 1 disables retry)",
     )
 
     bench_parser = sub.add_parser(
@@ -224,7 +259,11 @@ def main(argv=None) -> int:
         "--buckets", type=int, default=12, help="number of time buckets (phases)"
     )
 
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     if args.command == "trace":
         return _cmd_trace(args)
@@ -241,6 +280,7 @@ def main(argv=None) -> int:
         return 0
 
     jobs = _parse_jobs(args.jobs)
+    _install_policy(args)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     json_path = args.json if len(names) == 1 else None
     sections = []
@@ -251,9 +291,12 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         sections.append(
-            _run_experiment(name, args.scale, json_path=json_path, jobs=jobs)
+            _run_experiment(
+                name, args.scale, json_path=json_path, jobs=jobs, journal=args.resume
+            )
         )
         print(f"[repro] {name} done in {time.time() - started:.1f}s", file=sys.stderr)
+        _report_sweep_health(name)
     output = "\n".join(sections)
     if args.output:
         with open(args.output, "w") as fh:
@@ -262,6 +305,33 @@ def main(argv=None) -> int:
     else:
         print(output)
     return 0
+
+
+def _install_policy(args) -> None:
+    """Map ``--point-timeout``/``--retries`` onto the runner's default
+    :class:`~repro.experiments.runner.RunnerPolicy` for this process."""
+    from repro.experiments.runner import RunnerPolicy, set_default_policy
+
+    if args.retries < 1:
+        raise SystemExit(f"--retries must be >= 1, got {args.retries}")
+    set_default_policy(
+        RunnerPolicy(point_timeout_s=args.point_timeout, max_attempts=args.retries)
+    )
+
+
+def _report_sweep_health(name: str) -> None:
+    """Echo the last sweep's retry/resume/failure accounting to stderr."""
+    from repro.experiments.runner import last_report
+
+    report = last_report()
+    if report is None:
+        return
+    if report.retries or report.timeouts or report.resumed or report.serial_fallbacks:
+        print(
+            f"[repro] {name}: resumed={report.resumed} retries={report.retries} "
+            f"timeouts={report.timeouts} serial_fallbacks={report.serial_fallbacks}",
+            file=sys.stderr,
+        )
 
 
 def _parse_jobs(value: str) -> int:

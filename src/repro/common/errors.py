@@ -35,6 +35,27 @@ class AddressError(ReproError):
     """An address fell outside the configured physical address space."""
 
 
+class SweepError(ReproError):
+    """One or more sweep points exhausted their retry budget.
+
+    Raised by :func:`repro.experiments.runner.run_points` after the sweep
+    *completed* — every healthy point ran to the end; the failures listed
+    here poisoned only themselves. The structured
+    :class:`~repro.experiments.runner.PointFailure` records ride along so
+    callers can report or re-drive exactly the failed points.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        lines = ", ".join(
+            f"#{f.index} {f.label} ({f.exc_type} after {f.attempts} attempts)"
+            for f in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep point(s) failed after retries: {lines}"
+        )
+
+
 class CrashInjected(ReproError):
     """Control-flow exception thrown when an injected crash point fires.
 

@@ -51,7 +51,10 @@ def _spec(base, workload="array", scheme=Scheme.SUPERMEM, scale=None, **kw):
 
 
 def cwc_policy_ablation(
-    scale: str | Scale = "default", workload: str = "array", jobs: int = 1
+    scale: str | Scale = "default",
+    workload: str = "array",
+    jobs: int = 1,
+    journal: str | None = None,
 ) -> List[AblationRow]:
     """Remove-older-and-append-at-tail vs merge-in-place."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
@@ -64,7 +67,7 @@ def cwc_policy_ablation(
         )
         for policy in policies
     ]
-    results = run_points(specs, jobs=jobs, label="ablation:cwc-policy")
+    results = run_points(specs, jobs=jobs, label="ablation:cwc-policy", journal=journal)
     return [
         AblationRow(policy, r.avg_txn_latency_ns, r.surviving_writes, r.coalesced_counter_writes)
         for policy, r in zip(policies, results)
@@ -72,7 +75,10 @@ def cwc_policy_ablation(
 
 
 def xbank_offset_sweep(
-    scale: str | Scale = "default", workload: str = "array", jobs: int = 1
+    scale: str | Scale = "default",
+    workload: str = "array",
+    jobs: int = 1,
+    journal: str | None = None,
 ) -> List[AblationRow]:
     """Counter-bank offset 1..N-1 (the paper picks N/2 = 4)."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
@@ -86,7 +92,7 @@ def xbank_offset_sweep(
         )
         for offset in offsets
     ]
-    results = run_points(specs, jobs=jobs, label="ablation:xbank-offset")
+    results = run_points(specs, jobs=jobs, label="ablation:xbank-offset", journal=journal)
     return [
         AblationRow(f"offset={offset}", r.avg_txn_latency_ns, r.surviving_writes, 0)
         for offset, r in zip(offsets, results)
@@ -94,7 +100,10 @@ def xbank_offset_sweep(
 
 
 def drain_policy_ablation(
-    scale: str | Scale = "default", workload: str = "array", jobs: int = 1
+    scale: str | Scale = "default",
+    workload: str = "array",
+    jobs: int = 1,
+    journal: str | None = None,
 ) -> List[AblationRow]:
     """Deferred-counter FR-FCFS (default) vs eager FR-FCFS vs FIFO."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
@@ -106,7 +115,7 @@ def drain_policy_ablation(
             base, memory=dataclasses.replace(base.memory, drain_policy=policy)
         )
         specs.append(_spec(base, workload=workload, scale=scale))
-    results = run_points(specs, jobs=jobs, label="ablation:drain-policy")
+    results = run_points(specs, jobs=jobs, label="ablation:drain-policy", journal=journal)
     return [
         AblationRow(policy, r.avg_txn_latency_ns, r.surviving_writes, r.coalesced_counter_writes)
         for policy, r in zip(policies, results)
@@ -114,7 +123,10 @@ def drain_policy_ablation(
 
 
 def counter_organization_ablation(
-    scale: str | Scale = "default", workload: str = "array", jobs: int = 1
+    scale: str | Scale = "default",
+    workload: str = "array",
+    jobs: int = 1,
+    journal: str | None = None,
 ) -> List[AblationRow]:
     """Split counters (paper) vs monolithic per-line 64-bit counters."""
     scale = get_scale(scale) if isinstance(scale, str) else scale
@@ -128,7 +140,7 @@ def counter_organization_ablation(
         )
         for organization in organizations
     ]
-    results = run_points(specs, jobs=jobs, label="ablation:counter-org")
+    results = run_points(specs, jobs=jobs, label="ablation:counter-org", journal=journal)
     return [
         AblationRow(
             organization, r.avg_txn_latency_ns, r.surviving_writes, r.coalesced_counter_writes
@@ -137,15 +149,17 @@ def counter_organization_ablation(
     ]
 
 
-def render_all(scale: str | Scale = "default", jobs: int = 1) -> str:
+def render_all(
+    scale: str | Scale = "default", jobs: int = 1, journal: str | None = None
+) -> str:
     """Run and render every ablation."""
     headers = ["variant", "avg txn latency (ns)", "NVM writes", "coalesced"]
     sections = []
     for title, rows in (
-        ("Ablation: CWC removal policy (SuperMem, array, 1KB)", cwc_policy_ablation(scale, jobs=jobs)),
-        ("Ablation: XBank offset sweep (WT+XBank, array, 1KB)", xbank_offset_sweep(scale, jobs=jobs)),
-        ("Ablation: write-drain policy (SuperMem, array, 1KB)", drain_policy_ablation(scale, jobs=jobs)),
-        ("Ablation: counter organisation (SuperMem, array, 1KB)", counter_organization_ablation(scale, jobs=jobs)),
+        ("Ablation: CWC removal policy (SuperMem, array, 1KB)", cwc_policy_ablation(scale, jobs=jobs, journal=journal)),
+        ("Ablation: XBank offset sweep (WT+XBank, array, 1KB)", xbank_offset_sweep(scale, jobs=jobs, journal=journal)),
+        ("Ablation: write-drain policy (SuperMem, array, 1KB)", drain_policy_ablation(scale, jobs=jobs, journal=journal)),
+        ("Ablation: counter organisation (SuperMem, array, 1KB)", counter_organization_ablation(scale, jobs=jobs, journal=journal)),
     ):
         sections.append(
             render_table(

@@ -1,12 +1,17 @@
 """Wall-clock benchmark of the experiment sweep runner.
 
-Times the standard Figure 13 sweep three ways — serial with the trace
-cache disabled (the pre-runner baseline), serial with the cache, and
-parallel with ``--jobs N`` — and writes the measurements to a JSON file
+Times the standard Figure 13 sweep four ways — serial with the trace
+cache disabled (the pre-runner baseline), serial with the cache, parallel
+with ``--jobs N`` (journaling each completed point), and a resume pass
+over the journal the parallel leg wrote (every point satisfied from disk,
+nothing simulated) — and writes the measurements to a JSON file
 (``BENCH_SWEEP.json`` by convention; the start of the repo's perf
 trajectory). Each record follows the schema
-``{name, scale, jobs, wall_s, points}``; the ``speedup`` block reports
-the two headline ratios the runner is responsible for.
+``{name, scale, jobs, wall_s, points, runner}`` where ``runner`` is the
+:meth:`~repro.experiments.runner.RunnerReport.to_dict` accounting of that
+leg (retries, timeouts, resumed points, serial fallbacks, failures); the
+``speedup`` block reports the headline ratios the runner is responsible
+for.
 
 Run via ``python -m repro bench-sweep`` or
 ``python benchmarks/bench_wallclock.py``.
@@ -16,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,20 +34,24 @@ def _timed_sweep(
     request_sizes: Sequence[int],
     jobs: int,
     cache_enabled: bool,
-) -> Tuple[float, int]:
-    """One fig13 sweep; returns (wall seconds, number of points)."""
-    from repro.experiments import fig13
+    journal: Optional[str] = None,
+) -> Tuple[float, int, Optional[Dict[str, object]]]:
+    """One fig13 sweep; returns (wall s, number of points, runner accounting)."""
+    from repro.experiments import fig13, runner
     from repro.sim import trace_cache
 
     trace_cache.configure(cache_enabled)
     trace_cache.clear()
     try:
         started = time.perf_counter()
-        points = fig13.run(scale, request_sizes=tuple(request_sizes), jobs=jobs)
+        points = fig13.run(
+            scale, request_sizes=tuple(request_sizes), jobs=jobs, journal=journal
+        )
         wall = time.perf_counter() - started
     finally:
         trace_cache.configure(True)
-    return wall, len(points)
+    report = runner.last_report()
+    return wall, len(points), report.to_dict() if report is not None else None
 
 
 def run_sweep_benchmark(
@@ -50,16 +60,23 @@ def run_sweep_benchmark(
     request_sizes: Sequence[int] = BENCH_REQUEST_SIZES,
     output: Optional[str] = "BENCH_SWEEP.json",
 ) -> Dict[str, object]:
-    """Benchmark the fig13 sweep serial vs cached vs parallel.
+    """Benchmark the fig13 sweep serial vs cached vs parallel vs resume.
 
     Returns the payload written to ``output`` (pass ``None`` to skip the
-    file). Simulated results are identical across the three runs — only
-    wall-clock differs — so this is purely a harness benchmark.
+    file). Simulated results are identical across the runs — only
+    wall-clock differs — so this is purely a harness benchmark. The
+    ``resume`` leg replays the journal the parallel leg wrote: zero
+    simulation, pure journal-read cost, and its ``runner.resumed`` count
+    equals the full point count (the accounting CI asserts on).
     """
     runs: List[Dict[str, object]] = []
 
-    def record(name: str, n_jobs: int, cache_enabled: bool) -> float:
-        wall, n_points = _timed_sweep(scale, request_sizes, n_jobs, cache_enabled)
+    def record(
+        name: str, n_jobs: int, cache_enabled: bool, journal: Optional[str] = None
+    ) -> float:
+        wall, n_points, runner_accounting = _timed_sweep(
+            scale, request_sizes, n_jobs, cache_enabled, journal=journal
+        )
         runs.append(
             {
                 "name": name,
@@ -67,13 +84,17 @@ def run_sweep_benchmark(
                 "jobs": n_jobs,
                 "wall_s": round(wall, 3),
                 "points": n_points,
+                "runner": runner_accounting,
             }
         )
         return wall
 
-    serial_nocache = record("serial-nocache", 1, False)
-    serial = record("serial", 1, True)
-    parallel = record("parallel", jobs, True)
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
+        journal = os.path.join(tmp, "sweep-journal.jsonl")
+        serial_nocache = record("serial-nocache", 1, False)
+        serial = record("serial", 1, True)
+        parallel = record("parallel", jobs, True, journal=journal)
+        resume = record("resume", jobs, True, journal=journal)
 
     payload: Dict[str, object] = {
         "benchmark": "fig13-sweep",
@@ -83,6 +104,8 @@ def run_sweep_benchmark(
             "trace_cache": round(serial_nocache / serial, 3) if serial else 0.0,
             # Process fan-out on top of the cache.
             "parallel_vs_serial": round(serial / parallel, 3) if parallel else 0.0,
+            # Journal resume vs re-simulating (the crash-recovery payoff).
+            "resume_vs_parallel": round(parallel / resume, 3) if resume else 0.0,
             "total": round(serial_nocache / parallel, 3) if parallel else 0.0,
         },
         "host_cpus": os.cpu_count(),
@@ -98,14 +121,26 @@ def format_summary(payload: Dict[str, object]) -> str:
     """Human-readable digest of a benchmark payload."""
     lines = []
     for run in payload["runs"]:  # type: ignore[index]
-        lines.append(
+        line = (
             f"{run['name']:>16}: {run['wall_s']:8.3f}s "
             f"(jobs={run['jobs']}, {run['points']} points, scale={run['scale']})"
         )
+        accounting = run.get("runner")
+        if accounting:
+            extras = []
+            for key in ("resumed", "retries", "timeouts", "serial_fallbacks"):
+                if accounting.get(key):
+                    extras.append(f"{key}={accounting[key]}")
+            if accounting.get("failures"):
+                extras.append(f"failures={len(accounting['failures'])}")
+            if extras:
+                line += " [" + ", ".join(extras) + "]"
+        lines.append(line)
     speedup = payload["speedup"]  # type: ignore[index]
     lines.append(
         f"{'speedup':>16}: trace-cache {speedup['trace_cache']}x, "
         f"parallel {speedup['parallel_vs_serial']}x, "
+        f"resume {speedup['resume_vs_parallel']}x, "
         f"total {speedup['total']}x "
         f"({payload['host_cpus']} host CPUs)"
     )

@@ -1,0 +1,145 @@
+"""Deterministic fault injection for the sweep runner.
+
+The crash experiments of the paper (Table 1, Figure 6) inject power
+failures into the *simulated* machine; this module injects failures into
+the *experiment harness itself*, so the runner's recovery machinery —
+per-point timeouts, bounded retry, serial fallback, journal resume — can
+be exercised deterministically from tests and from the command line.
+
+A :class:`FaultPlan` maps point indices to a :class:`PointFault`. Three
+modes mirror how real sweep workers die:
+
+``crash``
+    The worker process hard-exits (``os._exit``) without reporting — the
+    moral equivalent of a SIGKILL or a segfault. The parent observes a
+    closed pipe, records a :class:`~repro.experiments.runner.PointFailure`
+    attempt, and retries.
+``hang``
+    The worker sleeps forever. Only a per-point wall-clock timeout
+    (:class:`~repro.experiments.runner.RunnerPolicy.point_timeout_s`)
+    rescues the sweep; the parent kills and replaces the worker. When a
+    hang fault fires in-process (serial execution or the serial fallback,
+    where sleeping would block the whole sweep), it degrades to ``crash``
+    — a raised :class:`InjectedFault`.
+``corrupt``
+    The worker completes but returns garbage instead of a
+    :class:`~repro.sim.metrics.SimResult`; the parent's result validation
+    rejects it. This stands in for unpicklable or wrongly-typed results.
+
+Each fault fires for the first ``times`` attempts of its point (1-based)
+and then clears, so ``times=1`` (the default) models a transient fault
+that a single retry survives, while a large ``times`` models a
+persistent fault that exhausts the retry budget and surfaces as a
+recorded failure.
+
+The environment hook ``REPRO_FAULT=point:<k>:<mode>[:<times>]`` arms a
+plan without touching code — e.g. ``REPRO_FAULT=point:3:crash`` kills the
+worker executing point 3 on its first attempt. Multiple clauses are
+comma-separated: ``REPRO_FAULT=point:0:hang,point:4:corrupt:2``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.common.errors import ConfigError
+
+#: Valid fault modes.
+FAULT_CRASH = "crash"
+FAULT_HANG = "hang"
+FAULT_CORRUPT = "corrupt"
+FAULT_MODES = (FAULT_CRASH, FAULT_HANG, FAULT_CORRUPT)
+
+#: Environment variable consumed by :meth:`FaultPlan.from_env`.
+FAULT_ENV = "REPRO_FAULT"
+
+#: Exit status of a worker killed by an injected ``crash`` fault
+#: (distinguishable from a clean exit in post-mortem debugging).
+CRASH_EXIT_CODE = 73
+
+
+class InjectedFault(RuntimeError):
+    """Raised when an armed fault fires in-process."""
+
+
+@dataclass(frozen=True)
+class PointFault:
+    """One armed fault: ``mode`` fires for the first ``times`` attempts."""
+
+    mode: str
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ConfigError(
+                f"unknown fault mode {self.mode!r}; expected one of {FAULT_MODES}"
+            )
+        if self.times < 1:
+            raise ConfigError(f"fault times must be >= 1, got {self.times}")
+
+
+class FaultPlan:
+    """Maps sweep point indices to the fault armed at that point."""
+
+    def __init__(self, faults: Mapping[int, PointFault]):
+        self._faults: Dict[int, PointFault] = dict(faults)
+
+    def __bool__(self) -> bool:
+        return bool(self._faults)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def fault_for(self, index: int, attempt: int) -> Optional[str]:
+        """The fault mode firing at ``(index, attempt)``, else ``None``.
+
+        ``attempt`` is 1-based; a fault fires while ``attempt <= times``.
+        """
+        fault = self._faults.get(index)
+        if fault is not None and attempt <= fault.times:
+            return fault.mode
+        return None
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> Optional["FaultPlan"]:
+        """Parse :data:`FAULT_ENV` into a plan; ``None`` when unset/empty."""
+        value = (environ if environ is not None else os.environ).get(FAULT_ENV, "")
+        value = value.strip()
+        if not value:
+            return None
+        return cls.parse(value)
+
+    @classmethod
+    def parse(cls, value: str) -> "FaultPlan":
+        """Parse ``point:<k>:<mode>[:<times>]`` clauses (comma-separated)."""
+        faults: Dict[int, PointFault] = {}
+        for clause in value.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            parts = clause.split(":")
+            if len(parts) not in (3, 4) or parts[0] != "point":
+                raise ConfigError(
+                    f"bad {FAULT_ENV} clause {clause!r}; expected "
+                    f"point:<k>:<mode>[:<times>]"
+                )
+            try:
+                index = int(parts[1])
+            except ValueError:
+                raise ConfigError(
+                    f"bad point index in {FAULT_ENV} clause {clause!r}"
+                ) from None
+            times = 1
+            if len(parts) == 4:
+                try:
+                    times = int(parts[3])
+                except ValueError:
+                    raise ConfigError(
+                        f"bad times in {FAULT_ENV} clause {clause!r}"
+                    ) from None
+            faults[index] = PointFault(mode=parts[2], times=times)
+        if not faults:
+            raise ConfigError(f"{FAULT_ENV} set but no clauses parsed: {value!r}")
+        return cls(faults)

@@ -35,7 +35,10 @@ class Fig13Point:
 
 
 def run(
-    scale: str | Scale = "default", request_sizes=REQUEST_SIZES, jobs: int = 1
+    scale: str | Scale = "default",
+    request_sizes=REQUEST_SIZES,
+    jobs: int = 1,
+    journal: str | None = None,
 ) -> List[Fig13Point]:
     """Run the full Figure 13 sweep; returns one point per cell."""
     if EVALUATED_SCHEMES[0] is not Scheme.UNSEC:
@@ -62,7 +65,7 @@ def run(
         for (workload, size) in cells
         for scheme in EVALUATED_SCHEMES
     ]
-    results = iter(run_points(specs, jobs=jobs, label="fig13"))
+    results = iter(run_points(specs, jobs=jobs, label="fig13", journal=journal))
     points: List[Fig13Point] = []
     for workload, size in cells:
         baseline = None

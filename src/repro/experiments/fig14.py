@@ -36,6 +36,7 @@ def run(
     workloads=WORKLOAD_NAMES,
     request_size: int = 1024,
     jobs: int = 1,
+    journal: str | None = None,
 ) -> List[Fig14Point]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     base = experiment_base_config(scale)
@@ -58,7 +59,7 @@ def run(
         for (workload, n_programs) in cells
         for scheme in EVALUATED_SCHEMES
     ]
-    results = iter(run_points(specs, jobs=jobs, label="fig14"))
+    results = iter(run_points(specs, jobs=jobs, label="fig14", journal=journal))
     points: List[Fig14Point] = []
     for workload, n_programs in cells:
         baseline = None

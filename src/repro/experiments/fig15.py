@@ -30,7 +30,10 @@ class Fig15Point:
 
 
 def run(
-    scale: str | Scale = "default", request_sizes=REQUEST_SIZES, jobs: int = 1
+    scale: str | Scale = "default",
+    request_sizes=REQUEST_SIZES,
+    jobs: int = 1,
+    journal: str | None = None,
 ) -> List[Fig15Point]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     base = experiment_base_config(scale)
@@ -48,7 +51,7 @@ def run(
         for (workload, size) in cells
         for scheme in EVALUATED_SCHEMES
     ]
-    results = iter(run_points(specs, jobs=jobs, label="fig15"))
+    results = iter(run_points(specs, jobs=jobs, label="fig15", journal=journal))
     points: List[Fig15Point] = []
     for workload, size in cells:
         baseline = None

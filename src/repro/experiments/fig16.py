@@ -33,6 +33,7 @@ def run(
     queue_lengths=QUEUE_LENGTHS,
     request_size: int = 1024,
     jobs: int = 1,
+    journal: str | None = None,
 ) -> List[Fig16Point]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     cells = [
@@ -53,7 +54,7 @@ def run(
         for (workload, entries) in cells
         for scheme in (Scheme.WT_BASE, Scheme.SUPERMEM)
     ]
-    results = iter(run_points(specs, jobs=jobs, label="fig16"))
+    results = iter(run_points(specs, jobs=jobs, label="fig16", journal=journal))
     points: List[Fig16Point] = []
     for workload, entries in cells:
         wt = next(results)

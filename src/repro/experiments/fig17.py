@@ -35,6 +35,7 @@ def run(
     cache_sizes=CACHE_SIZES,
     request_size: int = 1024,
     jobs: int = 1,
+    journal: str | None = None,
 ) -> List[Fig17Point]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     cells = [(workload, size) for workload in WORKLOAD_NAMES for size in cache_sizes]
@@ -54,7 +55,7 @@ def run(
         )
         for (workload, size) in cells
     ]
-    results = iter(run_points(specs, jobs=jobs, label="fig17"))
+    results = iter(run_points(specs, jobs=jobs, label="fig17", journal=journal))
     points: List[Fig17Point] = []
     for workload, size in cells:
         result = next(results)

@@ -47,6 +47,7 @@ def run_runtime(
     workload: str = "array",
     request_size: int = 1024,
     jobs: int = 1,
+    journal: str | None = None,
 ) -> List[RuntimeRow]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     base = experiment_base_config(scale)
@@ -62,7 +63,7 @@ def run_runtime(
         )
         for scheme in COMPARED
     ]
-    results = run_points(specs, jobs=jobs, label="related-work")
+    results = run_points(specs, jobs=jobs, label="related-work", journal=journal)
     return [
         RuntimeRow(
             scheme=scheme,

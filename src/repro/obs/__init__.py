@@ -31,6 +31,7 @@ from repro.obs.events import (
     CAT_BANK,
     CAT_CC,
     CAT_CRYPTO,
+    CAT_RUNNER,
     CAT_SAMPLE,
     CAT_TXN,
     CAT_WQ,
@@ -44,6 +45,7 @@ __all__ = [
     "CAT_BANK",
     "CAT_CC",
     "CAT_CRYPTO",
+    "CAT_RUNNER",
     "CAT_SAMPLE",
     "CAT_TXN",
     "CAT_WQ",

@@ -25,6 +25,9 @@ CAT_CC = "cc"
 CAT_CRYPTO = "crypto"
 CAT_TXN = "txn"
 CAT_SAMPLE = "sample"
+#: Harness-level events from the sweep runner (point retries, timeouts,
+#: worker deaths, journal resumes) — wall-clock, not simulated time.
+CAT_RUNNER = "runner"
 
 # Chrome trace-event phases.
 PH_BEGIN = "B"
@@ -38,6 +41,14 @@ TRACK_WQ = "wq"
 TRACK_CC = "cc"
 TRACK_CRYPTO = "crypto"
 TRACK_METRICS = "metrics"
+TRACK_RUNNER = "runner"
+
+# Runner event names (CAT_RUNNER instants on TRACK_RUNNER).
+RUNNER_EV_RETRY = "point_retry"
+RUNNER_EV_TIMEOUT = "point_timeout"
+RUNNER_EV_FAILURE = "point_failure"
+RUNNER_EV_RESUME = "point_resume"
+RUNNER_EV_FALLBACK = "serial_fallback"
 
 
 def bank_track(index: int) -> str:

@@ -1,0 +1,90 @@
+"""FaultPlan parsing and fire/clear semantics."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments.faults import (
+    FAULT_CORRUPT,
+    FAULT_CRASH,
+    FAULT_ENV,
+    FAULT_HANG,
+    FaultPlan,
+    PointFault,
+)
+
+
+class TestPointFault:
+    def test_valid_modes(self):
+        for mode in (FAULT_CRASH, FAULT_HANG, FAULT_CORRUPT):
+            assert PointFault(mode).mode == mode
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            PointFault("explode")
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ConfigError):
+            PointFault(FAULT_CRASH, times=0)
+
+
+class TestFireSemantics:
+    def test_fires_for_first_times_attempts_then_clears(self):
+        plan = FaultPlan({3: PointFault(FAULT_CRASH, times=2)})
+        assert plan.fault_for(3, 1) == FAULT_CRASH
+        assert plan.fault_for(3, 2) == FAULT_CRASH
+        assert plan.fault_for(3, 3) is None
+
+    def test_other_points_unaffected(self):
+        plan = FaultPlan({3: PointFault(FAULT_HANG)})
+        assert plan.fault_for(2, 1) is None
+        assert plan.fault_for(4, 1) is None
+
+    def test_truthiness_and_len(self):
+        assert not FaultPlan({})
+        plan = FaultPlan({0: PointFault(FAULT_CORRUPT), 1: PointFault(FAULT_CRASH)})
+        assert plan and len(plan) == 2
+
+
+class TestParse:
+    def test_single_clause_default_times(self):
+        plan = FaultPlan.parse("point:5:crash")
+        assert plan.fault_for(5, 1) == FAULT_CRASH
+        assert plan.fault_for(5, 2) is None
+
+    def test_multiple_clauses_with_times(self):
+        plan = FaultPlan.parse("point:0:hang, point:4:corrupt:2")
+        assert plan.fault_for(0, 1) == FAULT_HANG
+        assert plan.fault_for(4, 2) == FAULT_CORRUPT
+        assert plan.fault_for(4, 3) is None
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "crash",                    # no point: prefix
+            "point:x:crash",            # bad index
+            "point:1:explode",          # bad mode
+            "point:1:crash:zero",       # bad times
+            "point:1",                  # too few fields
+            "point:1:crash:1:extra",    # too many fields
+            ",",                        # nothing parses
+        ],
+    )
+    def test_rejects_malformed(self, value):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(value)
+
+
+class TestFromEnv:
+    def test_unset_and_blank_mean_no_plan(self):
+        assert FaultPlan.from_env({}) is None
+        assert FaultPlan.from_env({FAULT_ENV: "   "}) is None
+
+    def test_reads_the_variable(self):
+        plan = FaultPlan.from_env({FAULT_ENV: "point:2:corrupt"})
+        assert plan is not None
+        assert plan.fault_for(2, 1) == FAULT_CORRUPT
+
+    def test_real_environment(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "point:1:crash")
+        plan = FaultPlan.from_env()
+        assert plan is not None and plan.fault_for(1, 1) == FAULT_CRASH

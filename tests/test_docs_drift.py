@@ -1,0 +1,109 @@
+"""Docs-drift guards: the docs must track the code they document.
+
+Two contracts, both enforced mechanically so documentation cannot rot
+silently:
+
+* every ``CrashController.probe("...")`` call site in ``repro.txn`` and
+  ``repro.core`` must be named in ``docs/RECOVERY.md``;
+* every subcommand and long flag of the ``python -m repro`` argparse
+  tree must be named in ``docs/CLI.md``.
+
+Plus the repo-wide markdown link check (``tools/check_links.py``) so a
+renamed doc breaks the tier-1 suite, not just CI.
+"""
+
+import argparse
+import importlib.util
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCS = REPO_ROOT / "docs"
+
+#: A probe call: CrashController.probe("<name>", ...).
+_PROBE_CALL = re.compile(r"\.probe\(\s*\n?\s*\"([a-z0-9-]+)\"")
+
+
+def _source_probe_names() -> set:
+    names = set()
+    for package in ("txn", "core"):
+        for path in (REPO_ROOT / "src" / "repro" / package).glob("**/*.py"):
+            names.update(_PROBE_CALL.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+class TestRecoveryDoc:
+    def test_probe_sites_exist(self):
+        """The extraction regex must keep matching real call sites."""
+        names = _source_probe_names()
+        assert len(names) >= 8, names
+        assert "wt-no-register-gap" in names
+        assert "txn-after-prepare" in names
+
+    def test_every_probe_name_is_documented(self):
+        text = (DOCS / "RECOVERY.md").read_text(encoding="utf-8")
+        missing = sorted(n for n in _source_probe_names() if n not in text)
+        assert not missing, (
+            f"crash probes undocumented in docs/RECOVERY.md: {missing} — "
+            "add each to the probe catalogue"
+        )
+
+
+def _walk_parser():
+    """Yield (subcommand name, subparser) for every `python -m repro` command."""
+    from repro.__main__ import build_parser
+
+    parser = build_parser()
+    subactions = [
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+    assert subactions, "build_parser() no longer defines subcommands?"
+    for name, subparser in subactions[0].choices.items():
+        yield name, subparser
+
+
+class TestCliDoc:
+    @pytest.fixture(scope="class")
+    def cli_text(self):
+        return (DOCS / "CLI.md").read_text(encoding="utf-8")
+
+    def test_every_subcommand_is_documented(self, cli_text):
+        missing = [name for name, _ in _walk_parser() if name not in cli_text]
+        assert not missing, f"subcommands undocumented in docs/CLI.md: {missing}"
+
+    def test_every_long_flag_is_documented(self, cli_text):
+        missing = []
+        for name, subparser in _walk_parser():
+            for action in subparser._actions:
+                for option in action.option_strings:
+                    if option.startswith("--") and option not in cli_text:
+                        missing.append(f"{name} {option}")
+        assert not missing, f"flags undocumented in docs/CLI.md: {missing}"
+
+    def test_every_positional_is_documented(self, cli_text):
+        missing = []
+        for name, subparser in _walk_parser():
+            for action in subparser._actions:
+                if action.option_strings or isinstance(
+                    action, argparse._SubParsersAction
+                ):
+                    continue
+                if action.dest not in cli_text:
+                    missing.append(f"{name} {action.dest}")
+        assert not missing, f"positionals undocumented in docs/CLI.md: {missing}"
+
+
+class TestMarkdownLinks:
+    def test_all_intra_repo_links_resolve(self, capsys):
+        spec = importlib.util.spec_from_file_location(
+            "check_links", REPO_ROOT / "tools" / "check_links.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        status = module.main(REPO_ROOT)
+        output = capsys.readouterr().out
+        assert status == 0, f"broken markdown links:\n{output}"

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Markdown link checker: every intra-repo link must resolve.
+
+Scans the top-level ``*.md`` files and everything under ``docs/`` for
+markdown links and reference definitions, resolves relative targets
+against the containing file, and fails (exit 1, one line per break) if a
+target file does not exist. External links (``http(s)://``, ``mailto:``)
+and pure in-page anchors (``#...``) are skipped — this guards the repo's
+own doc graph, not the internet.
+
+Run from the repo root (CI's ``docs`` job does)::
+
+    python tools/check_links.py
+
+Also exercised by ``tests/test_docs_drift.py`` so link rot fails the
+tier-1 suite locally, not just in CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Inline links/images: [text](target) — stops at whitespace or ')'.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions: [label]: target
+_REF_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: Fenced code blocks are stripped so example markdown is not checked.
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path) -> List[Path]:
+    """The doc set under link guarantee: top-level *.md plus docs/**."""
+    files = sorted(root.glob("*.md"))
+    files += sorted((root / "docs").glob("**/*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def iter_links(text: str) -> Iterator[str]:
+    text = _CODE_FENCE.sub("", text)
+    for match in _INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in _REF_DEF.finditer(text):
+        yield match.group(1)
+
+
+def check_file(path: Path, root: Path) -> List[Tuple[str, str]]:
+    """Broken links of one file as (target, reason) pairs."""
+    broken = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        # Strip an in-page anchor from a file target.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            broken.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            broken.append((target, "target does not exist"))
+    return broken
+
+
+def main(root: Path | None = None) -> int:
+    root = root or Path(__file__).resolve().parent.parent
+    files = markdown_files(root)
+    if not files:
+        print("no markdown files found — wrong working directory?", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for target, reason in check_file(path, root):
+            print(f"{path.relative_to(root)}: broken link {target!r} ({reason})")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s) across {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
