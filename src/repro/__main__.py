@@ -45,6 +45,7 @@ def _run_experiment(
         fig15,
         fig16,
         fig17,
+        fig_recovery,
         related_work,
         table1,
     )
@@ -77,6 +78,9 @@ def _run_experiment(
     elif name == "fig17":
         points = fig17.run(scale, jobs=jobs, journal=journal)
         rendered = fig17.render(points)
+    elif name == "fig-recovery":
+        points = fig_recovery.run(scale, jobs=jobs, journal=journal)
+        rendered = fig_recovery.render(points)
     elif name == "ablations":
         rendered = ablations.render_all(scale, jobs=jobs, journal=journal)
     else:
@@ -93,6 +97,7 @@ EXPERIMENTS = (
     "fig15",
     "fig16",
     "fig17",
+    "fig-recovery",
     "ablations",
     "related",
 )
@@ -104,6 +109,7 @@ _DESCRIPTIONS = {
     "fig15": "NVM write requests normalised to Unsec",
     "fig16": "Write-queue length sensitivity (8..128 entries)",
     "fig17": "Counter-cache size sensitivity (1KB..4MB)",
+    "fig-recovery": "Section 6 recovery cost vs capacity/log/RSR/dirty fraction",
     "ablations": "Design-choice ablations (CWC policy, XBank offset, ...)",
     "related": "Section 6 related work: SCA / Osiris runtime + recovery cost",
 }
@@ -259,6 +265,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--buckets", type=int, default=12, help="number of time buckets (phases)"
     )
 
+    recovery_parser = sub.add_parser(
+        "recovery-report",
+        help="price one post-crash recovery (timed model; see docs/RECOVERY.md)",
+    )
+    recovery_parser.add_argument(
+        "scheme", help="recovery scheme: supermem/sca/osiris (path is derived)"
+    )
+    recovery_parser.add_argument(
+        "--capacity", type=int, default=32 << 20, help="NVM capacity in bytes"
+    )
+    recovery_parser.add_argument(
+        "--log-lines", type=int, default=256, help="undo-log region size in 64 B lines"
+    )
+    recovery_parser.add_argument(
+        "--rsr",
+        choices=("armed", "off"),
+        default="off",
+        help="crash mid page re-encryption so recovery must resume the RSR",
+    )
+    recovery_parser.add_argument(
+        "--dirty-frac",
+        type=float,
+        default=0.0,
+        help="fraction of pre-crash transactions with still-dirty counters "
+        "(write-back schemes only)",
+    )
+    recovery_parser.add_argument(
+        "--txns", type=int, default=16, help="transactions executed before the crash"
+    )
+    recovery_parser.add_argument("--request-size", type=int, default=256)
+    recovery_parser.add_argument("--seed", type=int, default=1)
+    recovery_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the cost report as JSON ('-' for stdout)",
+    )
+    recovery_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the recovery phases as Chrome trace-event JSON",
+    )
+
     return parser
 
 
@@ -271,6 +321,8 @@ def main(argv=None) -> int:
         return _cmd_simulate(args)
     if args.command == "trace-report":
         return _cmd_trace_report(args)
+    if args.command == "recovery-report":
+        return _cmd_recovery_report(args)
     if args.command == "bench-sweep":
         return _cmd_bench_sweep(args)
 
@@ -440,6 +492,64 @@ def _cmd_trace_report(args) -> int:
 
     print(render_report_file(args.trace_file, n_buckets=args.buckets))
     return 0
+
+
+def _cmd_recovery_report(args) -> int:
+    import json
+
+    from repro.common.config import SimConfig, MemoryConfig
+    from repro.core.recovery_cost import recovery_trace_events, run_recovery_scenario
+    from repro.core.schemes import Scheme
+
+    try:
+        scheme = Scheme(args.scheme)
+    except ValueError:
+        raise SystemExit(
+            f"unknown scheme {args.scheme!r}; expected one of "
+            f"{[s.value for s in Scheme]}"
+        )
+    base = SimConfig(memory=MemoryConfig(capacity=args.capacity))
+    report, recovered, shadow = run_recovery_scenario(
+        scheme,
+        base_config=base,
+        n_txns=args.txns,
+        request_size=args.request_size,
+        seed=args.seed,
+        log_lines=args.log_lines,
+        rsr=args.rsr,
+        dirty_frac=args.dirty_frac,
+    )
+    mismatches = recovered.audit_against_shadow(shadow)
+    print(f"{scheme.label} recovery ({report.path} path): {report.time_ns:.0f} ns")
+    for name, start, end in report.phases:
+        print(f"  {name:14s} {end - start:12.1f} ns")
+    print(
+        f"  reads: {report.nvm_reads} ({report.counter_line_reads} counter), "
+        f"writes: {report.nvm_writes}, aes: {report.aes_ops}, "
+        f"trials: {report.trial_decryptions}, replay: {report.replay_writes}"
+    )
+    print(f"  audit: {len(mismatches)} mismatching lines of {len(shadow)} flushed")
+    if args.trace:
+        from repro.obs import Tracer
+        from repro.obs.export import write_chrome_trace
+
+        tracer = Tracer()
+        tracer.events.extend(recovery_trace_events(report))
+        n_events = write_chrome_trace(tracer, args.trace)
+        print(f"wrote {args.trace}: {n_events} trace events", file=sys.stderr)
+    if args.json:
+        payload = report.to_dict()
+        payload["scheme"] = scheme.label
+        payload["audit_mismatches"] = len(mismatches)
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text)
+                fh.write("\n")
+            print(f"wrote {args.json}", file=sys.stderr)
+    return len(mismatches) and 1 or 0
 
 
 if __name__ == "__main__":

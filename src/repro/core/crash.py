@@ -22,11 +22,28 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.config import SimConfig
 from repro.common.errors import CrashInjected
 from repro.core.reencrypt import RSRRecord
+
+#: Every crash point probed anywhere in the tree, grouped by layer. The
+#: fuzz harness (tests/integration/test_crash_fuzz.py) and the docs-drift
+#: test both assert this registry equals the set of ``probe("...")`` call
+#: sites found in the source — add a probe, add it here.
+PROBE_POINTS = (
+    # core/system.py — the secure-write persist path
+    "after-data-append",
+    "after-pair-append",
+    "wt-no-register-gap",
+    "reencrypt-line-done",
+    # txn/transaction.py — transaction stage boundaries
+    "txn-after-prepare",
+    "txn-after-mutate",
+    "txn-after-commit",
+    "txn-after-commit-record",
+)
 
 
 class CrashController:
@@ -86,7 +103,24 @@ class DurableImage:
     #: Per-line ECC/MAC check bits (Osiris-style recovery only; the bits
     #: physically live in the NVM array and persist with their lines).
     macs: Dict[int, bytes] = field(default_factory=dict)
+    #: Cost-accounting hook: called with the line index on every
+    #: :meth:`line` access. The recovery-cost model installs a
+    #: :class:`~repro.core.recovery_cost.RecoveryMeter` charge here so
+    #: every recovery-path read of the durable image is billed a
+    #: PCM-latency-model bank read. Excluded from equality (two images
+    #: with the same durable contents are the same image).
+    on_read: Optional[Callable[[int], None]] = field(default=None, compare=False)
 
     def line(self, line_index: int) -> Optional[bytes]:
         """Persistent image of one line, or None if never written."""
+        if self.on_read is not None:
+            self.on_read(line_index)
         return self.nvm.get(line_index)
+
+    def written_data_lines(self, n_data_lines: int) -> List[int]:
+        """Sorted data-region line indices with a persistent image."""
+        return sorted(line for line in self.nvm if line < n_data_lines)
+
+    def written_counter_lines(self, n_data_lines: int) -> List[int]:
+        """Sorted counter-region line indices with a persistent image."""
+        return sorted(line for line in self.nvm if line >= n_data_lines)

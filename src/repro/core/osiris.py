@@ -47,17 +47,19 @@ class OsirisRecoveryReport:
 class OsirisRecovery:
     """Trial-decryption counter recovery over a durable image."""
 
-    def __init__(self, image: DurableImage):
+    def __init__(self, image: DurableImage, meter=None):
         if image.config is None:
             raise SimulationError("durable image carries no configuration")
         if image.config.osiris_stop_loss <= 0:
             raise SimulationError("image was not produced by an Osiris system")
         self.image = image
+        self.meter = meter
         self.stop_loss = image.config.osiris_stop_loss
         self.amap: AddressMap = image.config.address_map()
         # Reuse the standard recovery machinery for stored counters and
-        # the cipher; only the repair loop is Osiris-specific.
-        self._base = RecoveredSystem(image)
+        # the cipher; only the repair loop is Osiris-specific. The shared
+        # meter bills the stored-counter fetches and ciphertext reads.
+        self._base = RecoveredSystem(image, meter=meter)
 
     def recover(self) -> OsirisRecoveryReport:
         """Scan every written data line and re-derive its counter."""
@@ -65,9 +67,13 @@ class OsirisRecovery:
         cipher = self._base.cipher
         if cipher is None:
             raise SimulationError("Osiris recovery requires an encrypted image")
-        for line, ciphertext in self.image.nvm.items():
-            if line >= self.amap.n_lines:
-                continue  # counter region
+        for line in self.image.written_data_lines(self.amap.n_lines):
+            ciphertext = self.image.nvm[line]
+            if self.meter is not None:
+                # The scan reads each written line image once; each trial
+                # then occupies the AES pipeline (the stored-counter fetch
+                # is billed by the base RecoveredSystem).
+                self.meter.nvm_read(line)
             mac = self.image.macs.get(line)
             if mac is None:
                 continue  # never written through the Osiris path
@@ -75,6 +81,8 @@ class OsirisRecovery:
             recovered = None
             for delta in range(self.stop_loss + 1):
                 report.trial_decryptions += 1
+                if self.meter is not None:
+                    self.meter.aes()
                 candidate = stored + delta
                 plaintext = cipher.decrypt(line, candidate, ciphertext)
                 if _line_mac(plaintext) == mac:
@@ -88,6 +96,10 @@ class OsirisRecovery:
                 report.clean_lines += 1
             else:
                 report.repaired_lines += 1
+            if recovered != stored and self.meter is not None:
+                # A repaired counter must be persisted back before normal
+                # operation resumes.
+                self.meter.nvm_write(self.amap.n_lines + self.amap.page_of_line(line))
         return report
 
     def plaintext_of(self, line: int, report: OsirisRecoveryReport) -> bytes:

@@ -22,7 +22,7 @@ Table 1 experiments check end to end.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.common.address import AddressMap, LINES_PER_PAGE
 from repro.common.errors import SimulationError
@@ -33,9 +33,18 @@ from repro.memory.nvm import ZERO_LINE
 
 
 class RecoveredSystem:
-    """Read-side view of a crashed (or cleanly shut down) secure NVM."""
+    """Read-side view of a crashed (or cleanly shut down) secure NVM.
 
-    def __init__(self, image: DurableImage):
+    When a :class:`~repro.core.recovery_cost.RecoveryMeter` is supplied,
+    every recovery action is billed the PCM latency model's cost: a bank
+    read per line image fetched, a bank read per counter line the first
+    time it is touched (after which its block lives in recovery SRAM),
+    AES latency per pad derivation, and a bank write per line installed
+    by the log replay. Without a meter the behaviour is unchanged — the
+    correctness experiments (Table 1, crash storms) pay nothing.
+    """
+
+    def __init__(self, image: DurableImage, meter=None):
         if image.config is None:
             raise SimulationError("durable image carries no configuration")
         self.image = image
@@ -44,9 +53,39 @@ class RecoveredSystem:
         self.cipher: Optional[LineCipher] = (
             LineCipher() if self.config.encrypted else None
         )
+        self.meter = meter
         self._nvm: Dict[int, bytes] = dict(image.nvm)
         self._blocks: Dict[int, CounterBlock] = {}
+        #: Lines rewritten by :meth:`apply_replay`; consulted before the
+        #: durable image and read for free (they live in recovery SRAM).
+        self._overlay: Dict[int, bytes] = {}
+        #: Counter lines already fetched (and cached) by this recovery.
+        self._fetched_counter_lines: Set[int] = set()
         self._parse_counter_region()
+
+    # ------------------------------------------------------------------
+    # Cost accounting (no-ops without a meter)
+    # ------------------------------------------------------------------
+
+    def _charge_read(self, line: int) -> None:
+        if self.meter is not None:
+            self.meter.nvm_read(line, counter=False)
+
+    def _charge_counter_fetch(self, page: int) -> None:
+        if self.meter is None:
+            return
+        counter_line = self._counter_line_of_page(page)
+        if counter_line not in self._fetched_counter_lines:
+            self._fetched_counter_lines.add(counter_line)
+            self.meter.nvm_read(counter_line, counter=True)
+
+    def _charge_aes(self, n: int = 1) -> None:
+        if self.meter is not None:
+            self.meter.aes(n)
+
+    def _charge_write(self, line: int) -> None:
+        if self.meter is not None:
+            self.meter.nvm_write(line)
 
     # ------------------------------------------------------------------
     # Counter reconstruction
@@ -75,6 +114,7 @@ class RecoveredSystem:
         """Decryption counter of ``line``, honouring an in-flight RSR."""
         page = self.amap.page_of_line(line)
         slot = self.amap.line_in_page(line)
+        self._charge_counter_fetch(page)
         block = self.counter_block(page)
         rsr = self.image.rsr
         if rsr is not None and rsr.page == page:
@@ -101,12 +141,22 @@ class RecoveredSystem:
         experiments detect inconsistency by comparing against the shadow
         plaintext the workload tracked.
         """
+        replayed = self._overlay.get(line)
+        if replayed is not None:
+            return replayed
+        # Recovery cannot know a line is empty without fetching it: the
+        # read (and, when encrypted, the pad derivation) is billed whether
+        # or not an image exists — this is what makes a log *region* scan
+        # cost its full size, not just its occupied prefix.
+        self._charge_read(line)
         ciphertext = self._nvm.get(line)
+        if self.cipher is None:
+            return ciphertext if ciphertext is not None else ZERO_LINE
+        self._charge_aes()
+        counter = self.counter_of_line(line)
         if ciphertext is None:
             return ZERO_LINE
-        if self.cipher is None:
-            return ciphertext
-        return self.cipher.decrypt(line, self.counter_of_line(line), ciphertext)
+        return self.cipher.decrypt(line, counter, ciphertext)
 
     # ------------------------------------------------------------------
     # RSR resume (finish an interrupted page re-encryption)
@@ -125,6 +175,7 @@ class RecoveredSystem:
         if self.cipher is None:
             raise SimulationError("RSR present on an unencrypted system")
         page = rsr.page
+        self._charge_counter_fetch(page)
         block = self.counter_block(page)
         new_major = rsr.old_major + 1
         bits = self.config.minor_counter_bits
@@ -133,20 +184,49 @@ class RecoveredSystem:
             line = self.amap.lines_of_page(page)[slot]
             old_counter = (rsr.old_major << bits) | block.minors[slot]
             ciphertext = self._nvm.get(line)
-            plaintext = (
-                ZERO_LINE
-                if ciphertext is None
-                else self.cipher.decrypt(line, old_counter, ciphertext)
-            )
+            if ciphertext is None:
+                plaintext = ZERO_LINE
+            else:
+                self._charge_read(line)
+                self._charge_aes()
+                plaintext = self.cipher.decrypt(line, old_counter, ciphertext)
             block.minors[slot] = 0
             new_counter = new_major << bits
+            self._charge_aes()
             self._nvm[line] = self.cipher.encrypt(line, new_counter, plaintext)
+            self._charge_write(line)
             rsr.mark_done(slot)
             resumed += 1
         block.major = new_major
         self._nvm[self._counter_line_of_page(page)] = block.to_bytes()
+        self._charge_write(self._counter_line_of_page(page))
         self.image.rsr = None
         return resumed
+
+    # ------------------------------------------------------------------
+    # Log replay installation
+    # ------------------------------------------------------------------
+
+    def apply_replay(self, report) -> int:
+        """Install a log replay's restored view over the durable image.
+
+        ``report`` is the :class:`~repro.txn.transaction.RecoveryReport`
+        of :func:`~repro.txn.transaction.recover_data_view`: its ``view``
+        holds every line the undo/redo replay rewrote. Each installed
+        line is billed one pad derivation plus one NVM line write (the
+        replay must persist the restored data); subsequent
+        :meth:`plaintext_of` reads of an installed line are free — the
+        restored plaintext sits in recovery SRAM.
+
+        Returns the number of lines installed.
+        """
+        installed = 0
+        for line in sorted(report.view):
+            self._overlay[line] = report.view[line]
+            self._charge_aes()
+            self._charge_write(line)
+            installed += 1
+        return installed
 
     # ------------------------------------------------------------------
     # Consistency audit

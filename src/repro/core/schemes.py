@@ -74,6 +74,36 @@ EVALUATED_SCHEMES = (
     Scheme.SUPERMEM,
 )
 
+#: The schemes compared by the Section 6 recovery-cost experiment
+#: (``fig-recovery``): one representative per recovery path.
+RECOVERY_SCHEMES = (Scheme.SUPERMEM, Scheme.SCA, Scheme.OSIRIS)
+
+#: Recovery-path names (see :mod:`repro.core.recovery_cost`).
+RECOVERY_PATH_SUPERMEM = "supermem"
+RECOVERY_PATH_SCA_SCAN = "sca-scan"
+RECOVERY_PATH_OSIRIS = "osiris"
+
+
+def recovery_path(scheme: Scheme) -> str:
+    """Which post-crash counter-recovery path ``scheme`` pays for.
+
+    * Strict counter persistence (every write-through scheme, the
+      battery-backed ideal WB, and the unencrypted baseline) needs no
+      counter recovery: only the RSR resume and the log tail are walked —
+      :data:`RECOVERY_PATH_SUPERMEM`, constant in memory size.
+    * SCA's write-back counter cache loses dirty counters, and nothing
+      marks which ones: recovery scans the whole counter region —
+      :data:`RECOVERY_PATH_SCA_SCAN`, linear in capacity.
+    * Osiris re-derives each written line's counter by bounded trial
+      decryption — :data:`RECOVERY_PATH_OSIRIS`, replay window x written
+      lines.
+    """
+    if scheme is Scheme.SCA:
+        return RECOVERY_PATH_SCA_SCAN
+    if scheme is Scheme.OSIRIS:
+        return RECOVERY_PATH_OSIRIS
+    return RECOVERY_PATH_SUPERMEM
+
 
 def scheme_config(scheme: Scheme, base: SimConfig | None = None) -> SimConfig:
     """Derive the configuration of ``scheme`` from ``base``.

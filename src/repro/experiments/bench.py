@@ -54,6 +54,32 @@ def _timed_sweep(
     return wall, len(points), report.to_dict() if report is not None else None
 
 
+def _timed_recovery_sweep(scale: str, jobs: int, runs: List[Dict[str, object]]) -> float:
+    """Time the fig-recovery sweep and append its record to ``runs``.
+
+    Not part of the speedup ratios (the recovery kernel is a different
+    workload from the fig13 timing simulation); recorded so the perf
+    trajectory covers the recovery-cost subsystem too.
+    """
+    from repro.experiments import fig_recovery, runner
+
+    started = time.perf_counter()
+    points = fig_recovery.run(scale, jobs=jobs)
+    wall = time.perf_counter() - started
+    report = runner.last_report()
+    runs.append(
+        {
+            "name": "fig-recovery",
+            "scale": scale,
+            "jobs": jobs,
+            "wall_s": round(wall, 3),
+            "points": len(points),
+            "runner": report.to_dict() if report is not None else None,
+        }
+    )
+    return wall
+
+
 def run_sweep_benchmark(
     scale: str = "smoke",
     jobs: int = 4,
@@ -95,6 +121,7 @@ def run_sweep_benchmark(
         serial = record("serial", 1, True)
         parallel = record("parallel", jobs, True, journal=journal)
         resume = record("resume", jobs, True, journal=journal)
+        _timed_recovery_sweep(scale, jobs, runs)
 
     payload: Dict[str, object] = {
         "benchmark": "fig13-sweep",

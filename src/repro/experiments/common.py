@@ -44,6 +44,14 @@ class Scale:
     #: reach/footprint in the same regime so write-back eviction traffic
     #: and cold counter fetches appear as they do in the paper.
     counter_cache_size: int
+    #: Memory capacities swept by the ``fig-recovery`` experiment. The
+    #: Section 6 argument is about the *shape* over capacity (SuperMem
+    #: flat, SCA linear), so a 4x range suffices at every scale.
+    recovery_capacities: tuple = (8 << 20, 16 << 20, 32 << 20)
+    #: Log sizes (in 64 B lines) swept by ``fig-recovery``.
+    recovery_log_lines: tuple = (128, 512)
+    #: Transactions executed before the crash in each recovery point.
+    recovery_txns: int = 12
 
 
 SCALES = {
@@ -54,6 +62,9 @@ SCALES = {
         footprint=1 << 20,
         capacity=32 << 20,
         counter_cache_size=1 << 10,
+        recovery_capacities=(8 << 20, 16 << 20, 32 << 20),
+        recovery_log_lines=(128, 512),
+        recovery_txns=12,
     ),
     "default": Scale(
         "default",
@@ -62,6 +73,9 @@ SCALES = {
         footprint=4 << 20,
         capacity=64 << 20,
         counter_cache_size=4 << 10,
+        recovery_capacities=(16 << 20, 32 << 20, 64 << 20),
+        recovery_log_lines=(128, 512, 2048),
+        recovery_txns=24,
     ),
     "full": Scale(
         "full",
@@ -70,6 +84,9 @@ SCALES = {
         footprint=8 << 20,
         capacity=128 << 20,
         counter_cache_size=8 << 10,
+        recovery_capacities=(32 << 20, 64 << 20, 128 << 20),
+        recovery_log_lines=(128, 512, 2048),
+        recovery_txns=48,
     ),
 }
 

@@ -120,6 +120,13 @@ class PointSpec:
     counter_organization: str = "split"
     #: ``None`` = single-core; N = multi-programmed with N programs.
     n_programs: Optional[int] = None
+    #: Execution kernel: ``"simulate"`` (the timing simulators above) or
+    #: ``"recovery"`` (the timed post-crash recovery model of
+    #: :func:`repro.core.recovery_cost.run_recovery_point`).
+    kernel: str = "simulate"
+    #: Kernel-specific knobs as a tuple of ``(key, value)`` pairs — kept
+    #: hashable and picklable so specs stay frozen and journal-digestable.
+    kernel_params: Tuple[Tuple[str, object], ...] = ()
 
     def label(self) -> str:
         """Short human label for progress/failure reporting."""
@@ -316,6 +323,12 @@ def last_report() -> Optional[RunnerReport]:
 
 def _run_point(spec: PointSpec) -> SimResult:
     """Execute one spec (also the child-process entry point)."""
+    if spec.kernel == "recovery":
+        from repro.core.recovery_cost import run_recovery_point
+
+        return run_recovery_point(spec)
+    if spec.kernel != "simulate":
+        raise ConfigError(f"unknown point kernel {spec.kernel!r}")
     if spec.n_programs is not None:
         from repro.sim.multicore import simulate_multiprogrammed
 

@@ -1,0 +1,307 @@
+"""Randomized crash-point fuzzing across every registered probe.
+
+Table 1 and the crash storms pick their crash points by hand; this
+harness sweeps **all** of them mechanically: every entry of
+:data:`repro.core.crash.PROBE_POINTS` x randomized occurrence counts x
+deterministic seeds, across schemes (strict write-through, the ideal
+battery-backed WB, unencrypted, SCA, Osiris, register-less WT) and
+address patterns (uniform, sequential, and the zipfian ``mixed``
+workload's read/write mix). Each case crashes, recovers, and asserts two
+layers of invariants:
+
+* **correctness** — on strictly-persistent schemes, a fresh
+  :class:`RecoveredSystem` decrypts every flushed line back to exactly
+  the plaintext last flushed (``audit_against_shadow`` clean), wherever
+  the crash landed;
+* **cost-model consistency** — the timed recovery paths of
+  :mod:`repro.core.recovery_cost` price the same image coherently:
+  positive cost, read counters that add up, ordered phases, the full log
+  region scanned, and the Section 6 ordering (SCA scan and Osiris never
+  beat SuperMem on the same durable state).
+
+The plan is generated from one fixed master seed, so every run of the
+suite executes the identical >= 100 (probe, occurrence, seed) tuples;
+coverage of all probe points is asserted programmatically against the
+registry, not by convention.
+"""
+
+import copy
+import dataclasses
+import random
+
+import pytest
+
+from repro.common.address import CACHE_LINE_SIZE
+from repro.common.config import MemoryConfig, SimConfig
+from repro.common.errors import CrashInjected
+from repro.core.crash import CrashController, DurableImage, PROBE_POINTS
+from repro.core.recovery import RecoveredSystem
+from repro.core.recovery_cost import (
+    timed_osiris_recovery,
+    timed_sca_scan_recovery,
+    timed_supermem_recovery,
+)
+from repro.core.schemes import Scheme, scheme_config
+from repro.core.system import SecureMemorySystem
+from repro.txn.log import LogRegion
+from repro.txn.persist import DirectDomain, lines_of_range
+from repro.txn.transaction import TransactionManager
+from repro.workloads.mixed import ZipfSampler
+
+MASTER_SEED = 0xC0FFEE
+CASES_PER_PROBE = 13  # 8 probes x 13 = 104 tuples >= 100
+MAX_OCCURRENCE = 12
+
+LOG_LINES = 128
+LOG_SIZE = LOG_LINES * CACHE_LINE_SIZE
+DATA_BASE = 16 * 4096  # data at page 16, clear of the log region
+OBJ = 128  # object size in bytes (2 lines)
+N_OBJECTS = 8
+N_TXNS = 6
+
+#: Scenario candidates per probe: (scheme, config overrides, logging mode).
+#: Each list contains only configurations whose code path actually reaches
+#: the probe (e.g. the register gap exists only with the atomicity
+#: register disabled; the commit record only in redo logging).
+SCENARIOS = {
+    "after-pair-append": [
+        (Scheme.SUPERMEM, {}, "undo"),
+        (Scheme.WT_CWC, {}, "undo"),
+        (Scheme.WT_XBANK, {}, "redo"),
+        (Scheme.SCA, {}, "undo"),
+    ],
+    "after-data-append": [
+        (Scheme.UNSEC, {}, "undo"),
+        (Scheme.WB_IDEAL, {}, "undo"),
+        (Scheme.OSIRIS, {}, "undo"),
+        (Scheme.WB_IDEAL, {}, "redo"),
+    ],
+    "wt-no-register-gap": [
+        (Scheme.WT_BASE, {"atomicity_register": False}, "undo"),
+        (Scheme.SUPERMEM, {"atomicity_register": False}, "undo"),
+    ],
+    "reencrypt-line-done": [
+        (Scheme.SUPERMEM, {}, "undo"),
+        (Scheme.WT_BASE, {}, "undo"),
+    ],
+    "txn-after-prepare": [
+        (Scheme.SUPERMEM, {}, "undo"),
+        (Scheme.WT_XBANK, {}, "redo"),
+        (Scheme.WB_IDEAL, {}, "undo"),
+    ],
+    "txn-after-mutate": [
+        (Scheme.SUPERMEM, {}, "undo"),
+        (Scheme.WT_CWC, {}, "redo"),
+        (Scheme.UNSEC, {}, "undo"),
+    ],
+    "txn-after-commit": [
+        (Scheme.SUPERMEM, {}, "undo"),
+        (Scheme.WT_BASE, {}, "redo"),
+        (Scheme.OSIRIS, {}, "undo"),
+    ],
+    "txn-after-commit-record": [
+        (Scheme.SUPERMEM, {}, "redo"),
+        (Scheme.WT_XBANK, {}, "redo"),
+    ],
+}
+
+#: Schemes whose durable state must *always* audit clean: strict counter
+#: persistence (write-through with the atomicity register), the
+#: battery-backed ideal, and the unencrypted baseline. SCA/Osiris lose
+#: dirty write-back counters by design, and the register-less configs
+#: exist to demonstrate the Figure 6 corruption — neither is held to the
+#: clean-audit bar here (the cost model is still checked on them).
+_ALWAYS_CLEAN = {
+    Scheme.UNSEC,
+    Scheme.WB_IDEAL,
+    Scheme.WT_BASE,
+    Scheme.WT_CWC,
+    Scheme.WT_XBANK,
+    Scheme.SUPERMEM,
+}
+
+
+def fuzz_plan():
+    """The deterministic (probe, occurrence, seed) tuple list."""
+    rng = random.Random(MASTER_SEED)
+    plan = []
+    for probe in PROBE_POINTS:
+        # Occurrence 1 first, so every probe demonstrably fires at least
+        # once regardless of how the randomized occurrences land.
+        plan.append((probe, 1, rng.randrange(1 << 16)))
+        for _ in range(CASES_PER_PROBE - 1):
+            plan.append(
+                (probe, rng.randint(1, MAX_OCCURRENCE), rng.randrange(1 << 16))
+            )
+    return plan
+
+
+FUZZ_PLAN = fuzz_plan()
+
+
+class ShadowingDomain(DirectDomain):
+    """DirectDomain that also remembers the current clwb batch.
+
+    ``flushed_shadow`` is updated only after ``persist_line`` returns, so
+    a crash injected *inside* the persist leaves exactly one line whose
+    durable image is the new payload while the shadow still holds the
+    old one. That line is not corruption — it is the write that was in
+    flight — and the audit below accepts its in-flight value (and only
+    that value) as the alternative.
+    """
+
+    def __init__(self, system):
+        super().__init__(system)
+        self.in_flight = {}
+
+    def clwb(self, addr, size=CACHE_LINE_SIZE):
+        self.in_flight = {
+            line: bytes(self._volatile[line])
+            for line in lines_of_range(addr, size)
+            if line in self._dirty
+        }
+        super().clwb(addr, size)
+
+
+def _build(scheme, overrides, logging_mode):
+    cfg = dataclasses.replace(
+        scheme_config(scheme, SimConfig(memory=MemoryConfig(capacity=8 << 20))),
+        **overrides,
+    )
+    crash = CrashController()
+    system = SecureMemorySystem(cfg, crash=crash)
+    domain = ShadowingDomain(system)
+    manager = TransactionManager(
+        domain, LogRegion(0, LOG_SIZE), crash=crash, logging_mode=logging_mode
+    )
+    return manager, domain, system
+
+
+def _obj_addr(index: int) -> int:
+    return DATA_BASE + index * OBJ
+
+
+def run_fuzz_case(probe: str, occurrence: int, seed: int):
+    """Build, write, crash at the armed probe, and return the wreckage.
+
+    Returns ``(scheme, clean_expected, image, shadow, in_flight, fired)``.
+    """
+    rng = random.Random(seed)
+    scheme, overrides, logging_mode = SCENARIOS[probe][
+        rng.randrange(len(SCENARIOS[probe]))
+    ]
+    pattern = ("uniform", "sequential", "mixed")[rng.randrange(3)]
+    manager, domain, system = _build(scheme, overrides, logging_mode)
+    zipf = ZipfSampler(N_OBJECTS, theta=0.99)
+    system.crash_ctl.arm(probe, occurrence=occurrence)
+    try:
+        for i in range(N_TXNS):
+            if pattern == "sequential":
+                index = i % N_OBJECTS
+            elif pattern == "mixed":
+                index = zipf.sample(rng)
+                if rng.random() < 0.4:  # the mixed workload's read leg
+                    domain.load(_obj_addr(index), OBJ)
+            else:
+                index = rng.randrange(N_OBJECTS)
+            payload = bytes([rng.randrange(1, 256)]) * OBJ
+            manager.run([(_obj_addr(index), OBJ, payload)])
+        if probe == "reencrypt-line-done":
+            system.reencrypt_page(domain.now, DATA_BASE // 4096)
+    except CrashInjected:
+        pass
+    fired = system.crash_ctl.fired
+    shadow = dict(domain.flushed_shadow)
+    in_flight = dict(domain.in_flight)
+    image = system.crash()
+    clean_expected = (
+        scheme in _ALWAYS_CLEAN and overrides.get("atomicity_register", True)
+    )
+    return scheme, clean_expected, image, shadow, in_flight, fired
+
+
+def _image_copy(image: DurableImage) -> DurableImage:
+    """Independent image so each timed path consumes its own RSR."""
+    return DurableImage(
+        nvm=dict(image.nvm),
+        rsr=copy.deepcopy(image.rsr),
+        config=image.config,
+        macs=dict(image.macs),
+    )
+
+
+def _check_cost_consistency(scheme: Scheme, image: DurableImage) -> None:
+    """The recovery-cost invariants every crashed image must satisfy."""
+    _, supermem = timed_supermem_recovery(_image_copy(image), 0, LOG_SIZE)
+    assert supermem.time_ns > 0, "recovery is never free"
+    assert supermem.nvm_reads == (
+        supermem.data_line_reads + supermem.counter_line_reads
+    )
+    assert supermem.log_lines_scanned == LOG_LINES
+    last_end = 0.0
+    for _name, start, end in supermem.phases:
+        assert 0.0 <= start <= end
+        assert start >= last_end or start == pytest.approx(last_end)
+        last_end = end
+    assert supermem.phases[-1][2] == pytest.approx(supermem.time_ns)
+
+    if image.config is not None and image.config.encrypted:
+        _, sca = timed_sca_scan_recovery(_image_copy(image), 0, LOG_SIZE)
+        assert sca.counter_region_lines == image.config.address_map().n_pages
+        assert sca.time_ns >= supermem.time_ns, (
+            f"SCA scan beat SuperMem on the same image ({scheme})"
+        )
+        if image.config.osiris_stop_loss > 0:
+            _, osiris = timed_osiris_recovery(_image_copy(image), 0, LOG_SIZE)
+            assert osiris.time_ns >= supermem.time_ns
+            assert osiris.trial_decryptions >= osiris.nvm_writes
+
+
+class TestFuzzPlan:
+    def test_plan_is_large_and_deterministic(self):
+        assert len(FUZZ_PLAN) >= 100
+        assert FUZZ_PLAN == fuzz_plan(), "plan must be reproducible"
+
+    def test_plan_covers_every_registered_probe(self):
+        assert {probe for probe, _, _ in FUZZ_PLAN} == set(PROBE_POINTS)
+
+
+@pytest.mark.parametrize(
+    "probe,occurrence,seed",
+    FUZZ_PLAN,
+    ids=[f"{p}-occ{o}-s{s}" for p, o, s in FUZZ_PLAN],
+)
+def test_fuzzed_crash_recovers_and_prices_consistently(probe, occurrence, seed):
+    scheme, clean_expected, image, shadow, in_flight, _fired = run_fuzz_case(
+        probe, occurrence, seed
+    )
+    if clean_expected:
+        recovered = RecoveredSystem(image)
+        mismatches = recovered.audit_against_shadow(shadow)
+        # A crash inside the very persist being flushed may leave that
+        # one line durably holding the *newer* payload before the shadow
+        # recorded it. Per-line atomicity makes old-or-new legal there —
+        # but only the exact in-flight payload is accepted.
+        corrupt = {
+            line: got
+            for line, got in mismatches.items()
+            if got != in_flight.get(line)
+        }
+        assert not corrupt, (
+            f"{scheme} crashed at {probe}#{occurrence}: "
+            f"{len(corrupt)} flushed lines no longer decrypt"
+        )
+    _check_cost_consistency(scheme, image)
+
+
+def test_every_probe_point_fires_at_least_once():
+    """Coverage is asserted against the registry, not by convention:
+    arming each registered probe at occurrence 1 must actually crash."""
+    fired = set()
+    for probe in PROBE_POINTS:
+        _, _, _, _, _, did_fire = run_fuzz_case(probe, occurrence=1, seed=MASTER_SEED)
+        if did_fire:
+            fired.add(probe)
+    assert fired == set(PROBE_POINTS), (
+        f"probes that never fired: {sorted(set(PROBE_POINTS) - fired)}"
+    )

@@ -1,12 +1,21 @@
 """Docs-drift guards: the docs must track the code they document.
 
-Two contracts, both enforced mechanically so documentation cannot rot
+Contracts, all enforced mechanically so documentation cannot rot
 silently:
 
 * every ``CrashController.probe("...")`` call site in ``repro.txn`` and
-  ``repro.core`` must be named in ``docs/RECOVERY.md``;
+  ``repro.core`` must be named in ``docs/RECOVERY.md`` — and the
+  :data:`~repro.core.crash.PROBE_POINTS` registry must equal the set of
+  call sites the source scan finds (a probe added without registering
+  it, or registered without a call site, fails here);
 * every subcommand and long flag of the ``python -m repro`` argparse
-  tree must be named in ``docs/CLI.md``.
+  tree must be named in ``docs/CLI.md``;
+* every :class:`~repro.core.schemes.Scheme` (enum value and display
+  label) must be named in ``docs/MODEL.md``;
+* every observability vocabulary constant of :mod:`repro.obs.events`
+  (``CAT_*`` categories, ``TRACK_*`` series tracks, ``*_EV_*`` event
+  names) must appear in ``docs/OBSERVABILITY.md`` or
+  ``docs/PERFORMANCE.md``.
 
 Plus the repo-wide markdown link check (``tools/check_links.py``) so a
 renamed doc breaks the tier-1 suite, not just CI.
@@ -48,6 +57,53 @@ class TestRecoveryDoc:
         assert not missing, (
             f"crash probes undocumented in docs/RECOVERY.md: {missing} — "
             "add each to the probe catalogue"
+        )
+
+    def test_registry_matches_source_scan(self):
+        """PROBE_POINTS is the machine-readable probe catalogue (the
+        fuzz harness iterates it); it must equal the set of call sites
+        actually present in the source."""
+        from repro.core.crash import PROBE_POINTS
+
+        scanned = _source_probe_names()
+        registered = set(PROBE_POINTS)
+        assert registered == scanned, (
+            f"unregistered probes: {sorted(scanned - registered)}; "
+            f"registered but never fired in source: {sorted(registered - scanned)}"
+        )
+
+
+class TestModelDoc:
+    def test_every_scheme_is_documented(self):
+        from repro.core.schemes import Scheme
+
+        text = (DOCS / "MODEL.md").read_text(encoding="utf-8")
+        missing = []
+        for scheme in Scheme:
+            if f"`{scheme.value}`" not in text or scheme.label not in text:
+                missing.append(f"{scheme.value} ({scheme.label})")
+        assert not missing, (
+            f"schemes undocumented in docs/MODEL.md: {missing} — each needs "
+            "its enum value in backticks and its display label"
+        )
+
+
+class TestObservabilityDoc:
+    def test_every_event_vocabulary_constant_is_documented(self):
+        from repro.obs import events
+
+        text = (DOCS / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        text += (DOCS / "PERFORMANCE.md").read_text(encoding="utf-8")
+        missing = []
+        for name in dir(events):
+            if not (name.startswith(("CAT_", "TRACK_")) or "_EV_" in name):
+                continue
+            value = getattr(events, name)
+            if isinstance(value, str) and value not in text:
+                missing.append(f"{name}={value!r}")
+        assert not missing, (
+            "observability vocabulary undocumented in docs/OBSERVABILITY.md "
+            f"or docs/PERFORMANCE.md: {sorted(missing)}"
         )
 
 
