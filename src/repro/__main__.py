@@ -28,6 +28,7 @@ def _run_experiment(
     json_path: str | None = None,
     jobs: int = 1,
     journal: str | None = None,
+    fidelity: str = "timing",
 ) -> str:
     """Run one experiment by name; returns rendered markdown.
 
@@ -37,6 +38,11 @@ def _run_experiment(
     (results are bit-identical to serial; see docs/PERFORMANCE.md).
     ``journal`` enables ``--resume``: completed sweep points are appended
     to that JSONL file and skipped on a re-run (see docs/CLI.md).
+    ``fidelity`` selects the simulation fidelity for the fig13-17 sweep
+    grids ("timing" or "full"; identical results either way — see
+    docs/PERFORMANCE.md). Crash/recovery experiments (table1,
+    fig-recovery, related) inspect recovered bytes and always run at
+    full fidelity regardless of this flag.
     """
     from repro.experiments import (
         ablations,
@@ -64,19 +70,19 @@ def _run_experiment(
             related_work.run_recovery(),
         )
     elif name == "fig13":
-        points = fig13.run(scale, jobs=jobs, journal=journal)
+        points = fig13.run(scale, jobs=jobs, journal=journal, fidelity=fidelity)
         rendered = fig13.render(points)
     elif name == "fig14":
-        points = fig14.run(scale, jobs=jobs, journal=journal)
+        points = fig14.run(scale, jobs=jobs, journal=journal, fidelity=fidelity)
         rendered = fig14.render(points)
     elif name == "fig15":
-        points = fig15.run(scale, jobs=jobs, journal=journal)
+        points = fig15.run(scale, jobs=jobs, journal=journal, fidelity=fidelity)
         rendered = fig15.render(points)
     elif name == "fig16":
-        points = fig16.run(scale, jobs=jobs, journal=journal)
+        points = fig16.run(scale, jobs=jobs, journal=journal, fidelity=fidelity)
         rendered = fig16.render(points)
     elif name == "fig17":
-        points = fig17.run(scale, jobs=jobs, journal=journal)
+        points = fig17.run(scale, jobs=jobs, journal=journal, fidelity=fidelity)
         rendered = fig17.render(points)
     elif name == "fig-recovery":
         points = fig_recovery.run(scale, jobs=jobs, journal=journal)
@@ -173,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
         "wall-clock budget (default: no timeout)",
     )
     run_parser.add_argument(
+        "--fidelity",
+        choices=("timing", "full"),
+        default="timing",
+        help="simulation fidelity for sweep experiments: 'timing' (default) "
+        "skips functional byte-level crypto/NVM payloads for speed; 'full' "
+        "carries payloads end to end — results are bit-identical either way "
+        "(crash/recovery experiments always run full)",
+    )
+    run_parser.add_argument(
         "--retries",
         type=int,
         default=3,
@@ -225,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--request-size", type=int, default=1024)
     sim_parser.add_argument("--footprint", type=int, default=4 << 20)
     sim_parser.add_argument("--seed", type=int, default=1)
+    sim_parser.add_argument(
+        "--fidelity",
+        choices=("timing", "full"),
+        default="timing",
+        help="'timing' (default) skips functional byte work; 'full' runs "
+        "the byte-level crypto path — identical timing/stats either way",
+    )
     sim_parser.add_argument(
         "--profile", action="store_true", help="print the bank/WQ profile"
     )
@@ -344,7 +366,12 @@ def main(argv=None) -> int:
         )
         sections.append(
             _run_experiment(
-                name, args.scale, json_path=json_path, jobs=jobs, journal=args.resume
+                name,
+                args.scale,
+                json_path=json_path,
+                jobs=jobs,
+                journal=args.resume,
+                fidelity=args.fidelity,
             )
         )
         print(f"[repro] {name} done in {time.time() - started:.1f}s", file=sys.stderr)
@@ -464,6 +491,7 @@ def _cmd_simulate(args) -> int:
         footprint=args.footprint,
         seed=args.seed,
         tracer=tracer,
+        fidelity=args.fidelity,
     )
     print(f"{args.workload} under {scheme.label}: {result.summary()}")
     print(f"total time: {result.total_time_ns:.0f} ns")

@@ -16,20 +16,31 @@ mostly-inclusive write-back, write-allocate hierarchy:
 For the multi-core experiments, each core owns a private
 :class:`CacheHierarchy` for L1/L2 while L3 is shared — see
 :mod:`repro.sim.multicore`, which passes a shared L3 instance in.
+
+The walk runs once per load/store, three lookups deep, so the class is
+``__slots__``-ed and :meth:`access` returns a plain ``(hit_level,
+latency_ns, writebacks)`` tuple without allocating a result object (the
+write-back list is lazily allocated — the common case is none).
+:meth:`read`/:meth:`write` wrap the same walk in a :class:`ReadOutcome`
+for callers that prefer names; :meth:`read_ref`/:meth:`write_ref` keep the
+original per-level implementation as the differential oracle and slow
+benchmark leg.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, NamedTuple, Optional, Tuple
 
 from repro.common.config import CacheConfig, TimingConfig
 from repro.common.stats import Stats
 from repro.cache.sram import SetAssociativeCache
 
+#: Shared empty write-back container returned by the fast walk when no
+#: dirty line left the last level — callers only iterate it, never mutate.
+_EMPTY_WB: Tuple[int, ...] = ()
 
-@dataclass
-class ReadOutcome:
+
+class ReadOutcome(NamedTuple):
     """Result of driving one load or store through the hierarchy.
 
     Attributes
@@ -48,7 +59,7 @@ class ReadOutcome:
 
     hit_level: Optional[int]
     latency_ns: float
-    memory_writebacks: List[int] = field(default_factory=list)
+    memory_writebacks: List[int]
 
 
 class CacheHierarchy:
@@ -70,6 +81,21 @@ class CacheHierarchy:
         (e.g. ``"core0."``).
     """
 
+    __slots__ = (
+        "_timing",
+        "_stats",
+        "_vals",
+        "l1",
+        "l2",
+        "l3",
+        "_levels",
+        "_latencies_ns",
+        "_k_memory_writebacks",
+        "_k_clwb",
+        "_k_clwb_dirty",
+        "_k_clflush",
+    )
+
     def __init__(
         self,
         l1: CacheConfig,
@@ -82,6 +108,7 @@ class CacheHierarchy:
     ):
         self._timing = timing
         self._stats = stats
+        self._vals = stats.raw()
         self.l1 = SetAssociativeCache(l1, stats, f"{name_prefix}l1")
         self.l2 = SetAssociativeCache(l2, stats, f"{name_prefix}l2")
         # An explicit None check: SetAssociativeCache defines __len__, so an
@@ -97,25 +124,70 @@ class CacheHierarchy:
             timing.cycles_to_ns(l2.latency_cycles),
             timing.cycles_to_ns(shared_l3.config.latency_cycles if shared_l3 else l3.latency_cycles),
         ]
+        self._k_memory_writebacks = ("hierarchy", "memory_writebacks")
+        self._k_clwb = ("hierarchy", "clwb")
+        self._k_clwb_dirty = ("hierarchy", "clwb_dirty")
+        self._k_clflush = ("hierarchy", "clflush")
 
     # ------------------------------------------------------------------
     # Loads and stores
     # ------------------------------------------------------------------
 
+    def access(self, line: int, write: bool):
+        """Drive one load/store; returns ``(hit_level, latency_ns, wbs)``.
+
+        The flat fast path: identical walk order, fills, evictions, and
+        statistics as :meth:`read_ref`/:meth:`write_ref`, but with level
+        lists in locals, no outcome object, and the write-back list only
+        allocated once a dirty line actually leaves L3.
+        """
+        levels = self._levels
+        lats = self._latencies_ns
+        latency = 0.0
+        wb: Optional[List[int]] = None
+        for depth in range(3):
+            latency += lats[depth]
+            hit, evicted = levels[depth].access(line, write and depth == 0)
+            if evicted is not None and evicted.dirty:
+                if wb is None:
+                    wb = []
+                self._push_down(depth, evicted.line, wb)
+            if hit:
+                for d in range(depth - 1, -1, -1):
+                    ev = levels[d].fill(line, write and d == 0)
+                    if ev is not None and ev.dirty:
+                        if wb is None:
+                            wb = []
+                        self._push_down(d, ev.line, wb)
+                return depth + 1, latency, (wb if wb is not None else _EMPTY_WB)
+        # Missed everywhere: the access() calls above already filled each
+        # level (miss-fill), so only the outcome remains to be reported.
+        return None, latency, (wb if wb is not None else _EMPTY_WB)
+
     def read(self, line: int) -> ReadOutcome:
         """Drive a load; fill upper levels on lower-level hits."""
-        return self._access(line, write=False)
+        hit_level, latency, wb = self.access(line, False)
+        return ReadOutcome(hit_level, latency, list(wb))
 
     def write(self, line: int) -> ReadOutcome:
         """Drive a store (write-allocate; line becomes dirty in L1)."""
-        return self._access(line, write=True)
+        hit_level, latency, wb = self.access(line, True)
+        return ReadOutcome(hit_level, latency, list(wb))
 
-    def _access(self, line: int, write: bool) -> ReadOutcome:
+    def read_ref(self, line: int) -> ReadOutcome:
+        """Reference load path (unhoisted walk, per-level outcome)."""
+        return self._access_ref(line, write=False)
+
+    def write_ref(self, line: int) -> ReadOutcome:
+        """Reference store path (unhoisted walk, per-level outcome)."""
+        return self._access_ref(line, write=True)
+
+    def _access_ref(self, line: int, write: bool) -> ReadOutcome:
         latency = 0.0
         writebacks: List[int] = []
         for depth, cache in enumerate(self._levels):
             latency += self._latencies_ns[depth]
-            hit, evicted = cache.access(line, write=(write and depth == 0))
+            hit, evicted = cache.access_ref(line, write=(write and depth == 0))
             if evicted is not None:
                 self._handle_eviction(depth, evicted, writebacks)
             if hit:
@@ -125,8 +197,6 @@ class CacheHierarchy:
                     latency_ns=latency,
                     memory_writebacks=writebacks,
                 )
-        # Missed everywhere: the access() calls above already filled each
-        # level (miss-fill), so only the outcome remains to be reported.
         return ReadOutcome(hit_level=None, latency_ns=latency, memory_writebacks=writebacks)
 
     def _fill_above(
@@ -137,6 +207,18 @@ class CacheHierarchy:
             evicted = self._levels[depth].fill(line, dirty=(write and depth == 0))
             if evicted is not None:
                 self._handle_eviction(depth, evicted, writebacks)
+
+    def _push_down(self, depth: int, victim: int, writebacks: List[int]) -> None:
+        """Install a known-dirty victim one level down (or emit to memory)."""
+        levels = self._levels
+        while depth + 1 < 3:
+            depth += 1
+            inner = levels[depth].fill(victim, dirty=True)
+            if inner is None or not inner.dirty:
+                return
+            victim = inner.line
+        writebacks.append(victim)
+        self._vals[self._k_memory_writebacks] += 1
 
     def _handle_eviction(self, depth: int, evicted, writebacks: List[int]) -> None:
         """Push a dirty victim down one level (or out to memory from L3)."""
@@ -161,12 +243,14 @@ class CacheHierarchy:
         memory controller must receive a write. (Flushing a clean or absent
         line is a no-op at the memory, exactly like hardware clwb.)
         """
-        was_dirty = False
-        for cache in self._levels:
-            was_dirty |= cache.clean(line)
-        self._stats.inc("hierarchy", "clwb")
+        l1, l2, l3 = self._levels
+        was_dirty = l1.clean(line)
+        was_dirty = l2.clean(line) or was_dirty
+        was_dirty = l3.clean(line) or was_dirty
+        vals = self._vals
+        vals[self._k_clwb] += 1
         if was_dirty:
-            self._stats.inc("hierarchy", "clwb_dirty")
+            vals[self._k_clwb_dirty] += 1
         return was_dirty
 
     def clflush(self, line: int) -> bool:
@@ -174,7 +258,7 @@ class CacheHierarchy:
         was_dirty = False
         for cache in self._levels:
             was_dirty |= cache.invalidate(line)
-        self._stats.inc("hierarchy", "clflush")
+        self._vals[self._k_clflush] += 1
         return was_dirty
 
     def lose_all_volatile_state(self) -> List[int]:

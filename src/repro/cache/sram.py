@@ -7,19 +7,25 @@ CPU's L1/L2/L3 and the memory controller's counter cache.
 Sets are ``dict`` instances whose insertion order doubles as the LRU stack
 (Python dicts preserve insertion order; re-inserting moves a key to the
 most-recently-used position in O(1)).
+
+This class is on the per-op critical path (three lookups per load/store),
+so it is written for speed: ``__slots__`` keeps attribute access on the
+fast path, stat keys are prebuilt tuples bumped directly in the shared
+``Stats.raw()`` dict, and the evicted-line record is a NamedTuple rather
+than a dataclass. :meth:`access_ref` preserves the straightforward
+implementation as a differential oracle (and as the deliberately unhoisted
+``serial`` benchmark leg — see PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, NamedTuple, Optional
 
 from repro.common.config import CacheConfig
 from repro.common.stats import Stats
 
 
-@dataclass(frozen=True)
-class EvictedLine:
+class EvictedLine(NamedTuple):
     """A line pushed out of a cache by a fill."""
 
     line: int
@@ -39,14 +45,37 @@ class SetAssociativeCache:
         Namespace under which this cache reports stats (e.g. ``"l1"``).
     """
 
+    __slots__ = (
+        "config",
+        "name",
+        "_stats",
+        "_vals",
+        "_n_sets",
+        "_assoc",
+        "_sets",
+        "_k_accesses",
+        "_k_hits",
+        "_k_misses",
+        "_k_evictions",
+        "_k_dirty_evictions",
+    )
+
     def __init__(self, config: CacheConfig, stats: Stats, name: str):
         self.config = config
         self.name = name
         self._stats = stats
+        self._vals = stats.raw()
         self._n_sets = config.n_sets
         self._assoc = config.assoc
         # set index -> {line: dirty}; dict order is LRU order (oldest first)
         self._sets: list[Dict[int, bool]] = [dict() for _ in range(self._n_sets)]
+        # Prebuilt (namespace, counter) keys: raw()[key] += 1 has the exact
+        # semantics of stats.inc without the call and tuple allocation.
+        self._k_accesses = (name, "accesses")
+        self._k_hits = (name, "hits")
+        self._k_misses = (name, "misses")
+        self._k_evictions = (name, "evictions")
+        self._k_dirty_evictions = (name, "dirty_evictions")
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -57,11 +86,11 @@ class SetAssociativeCache:
 
     def contains(self, line: int) -> bool:
         """Presence test without touching LRU state or statistics."""
-        return line in self._set_of(line)
+        return line in self._sets[line % self._n_sets]
 
     def is_dirty(self, line: int) -> bool:
         """Dirty test without touching LRU state or statistics."""
-        return self._set_of(line).get(line, False)
+        return self._sets[line % self._n_sets].get(line, False)
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._sets)
@@ -89,6 +118,27 @@ class SetAssociativeCache:
         out by the fill (``None`` on a hit or when the set had room). A
         write marks the line dirty; a read fill inserts it clean.
         """
+        cache_set = self._sets[line % self._n_sets]
+        vals = self._vals
+        vals[self._k_accesses] += 1
+        if line in cache_set:
+            vals[self._k_hits] += 1
+            dirty = cache_set.pop(line) or write
+            cache_set[line] = dirty  # move to MRU
+            return True, None
+
+        vals[self._k_misses] += 1
+        evicted = self._fill(cache_set, line, write)
+        return False, evicted
+
+    def access_ref(
+        self, line: int, write: bool
+    ) -> tuple[bool, Optional[EvictedLine]]:
+        """Reference access path: identical semantics, no hoisted lookups.
+
+        Kept as the differential oracle for tests/sim/test_hotpath.py and
+        as the slow leg of the hot-path benchmark ratio.
+        """
         cache_set = self._set_of(line)
         self._stats.inc(self.name, "accesses")
         if line in cache_set:
@@ -98,10 +148,25 @@ class SetAssociativeCache:
             return True, None
 
         self._stats.inc(self.name, "misses")
-        evicted = self._fill(cache_set, line, write)
+        evicted = self._fill_ref(cache_set, line, write)
         return False, evicted
 
     def _fill(
+        self, cache_set: Dict[int, bool], line: int, dirty: bool
+    ) -> Optional[EvictedLine]:
+        evicted = None
+        if len(cache_set) >= self._assoc:
+            victim_line = next(iter(cache_set))  # LRU = oldest insertion
+            victim_dirty = cache_set.pop(victim_line)
+            evicted = EvictedLine(victim_line, victim_dirty)
+            vals = self._vals
+            vals[self._k_evictions] += 1
+            if victim_dirty:
+                vals[self._k_dirty_evictions] += 1
+        cache_set[line] = dirty
+        return evicted
+
+    def _fill_ref(
         self, cache_set: Dict[int, bool], line: int, dirty: bool
     ) -> Optional[EvictedLine]:
         evicted = None
@@ -117,7 +182,7 @@ class SetAssociativeCache:
 
     def fill(self, line: int, dirty: bool = False) -> Optional[EvictedLine]:
         """Insert ``line`` without counting an access (e.g. inclusive fill)."""
-        cache_set = self._set_of(line)
+        cache_set = self._sets[line % self._n_sets]
         if line in cache_set:
             cache_set[line] = cache_set.pop(line) or dirty
             return None

@@ -312,10 +312,34 @@ class SimConfig:
     #: Store actual bytes (functional mode). Timing-only runs skip payload
     #: encryption for speed but still model every latency.
     functional: bool = True
+    #: Simulation fidelity. ``"full"`` keeps byte-level crypto and NVM
+    #: payload storage available (the ``functional`` knob then decides
+    #: whether traces actually carry payloads). ``"timing"`` skips all
+    #: functional byte work — no pad generation, no XOR, no DurableImage
+    #: mutation — while charging identical latencies, so Stats/SimResult
+    #: are byte-for-byte the same as a ``"full"`` run of the same trace
+    #: (asserted by ``tests/sim/test_fidelity.py``). ``"timing"`` forces
+    #: ``functional`` off; crash/recovery/Table-1 harnesses force
+    #: ``"full"`` because they audit recovered plaintext.
+    fidelity: str = "full"
+    #: Select the optimized hot-path implementations (flattened cache
+    #: walk, early-exit drain-candidate scan, pad memo). ``False`` runs
+    #: the retained reference implementations — bit-identical results
+    #: (asserted by ``tests/sim/test_hotpath.py``), used as the
+    #: differential-testing oracle and the ``serial`` benchmark baseline.
+    hot_path: bool = True
 
     def __post_init__(self) -> None:
         if not 1 <= self.minor_counter_bits <= 16:
             raise ConfigError("minor_counter_bits must be in [1, 16]")
+        if self.fidelity not in ("full", "timing"):
+            raise ConfigError(
+                f"fidelity must be 'full' or 'timing', got {self.fidelity!r}"
+            )
+        if self.fidelity == "timing" and self.functional:
+            # Timing fidelity is exactly "functional byte work off"; make
+            # the coupling structural so the two knobs cannot disagree.
+            object.__setattr__(self, "functional", False)
 
     def address_map(self) -> AddressMap:
         """Shortcut for ``self.memory.address_map()``."""

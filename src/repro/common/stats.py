@@ -31,6 +31,16 @@ class Stats:
     def __init__(self) -> None:
         self._values: Dict[Tuple[str, str], float] = defaultdict(float)
 
+    def raw(self) -> Dict[Tuple[str, str], float]:
+        """The live underlying ``defaultdict``.
+
+        Hot components prebuild their ``(namespace, counter)`` key tuples
+        once and bump ``raw()[key] += n`` directly, which has exactly the
+        semantics of :meth:`inc` without a method call and tuple allocation
+        per event. Mutating the returned mapping *is* mutating this Stats.
+        """
+        return self._values
+
     def inc(self, namespace: str, counter: str, amount: float = 1) -> None:
         """Add ``amount`` to a counter (creating it at zero)."""
         self._values[(namespace, counter)] += amount

@@ -40,6 +40,7 @@ in the ``recovery`` stats namespace), so journaling, resume, and
 from __future__ import annotations
 
 import random
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -410,7 +411,12 @@ def run_recovery_scenario(
     if log_lines < 2:
         raise ConfigError(f"log_lines must be >= 2, got {log_lines}")
 
-    config = scheme_config(scheme, base_config)
+    # The recovery kernel audits recovered plaintext byte-for-byte, so it
+    # always runs at full fidelity even when a sweep asked for "timing"
+    # (replace() alone would carry a stale functional=False through).
+    config = dataclasses.replace(
+        scheme_config(scheme, base_config), fidelity="full", functional=True
+    )
     crash_ctl = CrashController()
     system = SecureMemorySystem(config, crash=crash_ctl)
     domain = DirectDomain(system)

@@ -190,6 +190,21 @@ class SecureMemorySystem:
         self.cipher: Optional[LineCipher] = (
             LineCipher() if (config.encrypted and config.functional) else None
         )
+        # Per-op hoists: SimConfig is frozen, so these cannot drift. aes_ns
+        # is a TimingConfig property (a division per call) and the stat keys
+        # below are bumped two-plus times per persist/read.
+        self._functional = config.functional
+        self._aes_ns = config.timing.aes_ns
+        self._encrypted = config.encrypted
+        self._cc_write_through = self.counter_cache.write_through
+        self._atomicity_register = config.atomicity_register
+        self._sca_mode = config.sca_mode
+        self._osiris_stop_loss = config.osiris_stop_loss
+        self._vals = self.stats.raw()
+        self._k_data_writes = ("secmem", "data_writes")
+        self._k_data_reads = ("secmem", "data_reads")
+        self._k_cc_read_accesses = ("cc", "read_accesses")
+        self._k_cc_read_hits = ("cc", "read_hits")
         #: In-flight page re-encryption (None when idle).
         self.rsr: Optional[RSRRecord] = None
         #: Osiris stop-loss bookkeeping: updates per counter block since
@@ -273,9 +288,9 @@ class SecureMemorySystem:
         write-through) entered the ADR domain.
         """
         self._check_alive()
-        self.stats.inc("secmem", "data_writes")
+        self._vals[self._k_data_writes] += 1
 
-        if not self.config.encrypted:
+        if not self._encrypted:
             durable = self.controller.append_write(
                 t, line, payload=payload, core=core
             )
@@ -303,7 +318,7 @@ class SecureMemorySystem:
             victim = self._counter_entry(
                 line=writeback_page * self.counters.lines_per_block,
                 block_key=writeback_page,
-                payload_wanted=self.config.functional,
+                payload_wanted=self._functional,
             )
             self.controller.append_write(
                 t,
@@ -317,17 +332,17 @@ class SecureMemorySystem:
 
         # 3. OTP generation + encryption (AES pipeline latency).
         ciphertext = self._encrypt(line, payload)
-        t_enc = t + self.config.timing.aes_ns
+        t_enc = t + self._aes_ns
         if self.tracer.enabled:
-            self.tracer.crypto(t, self.config.timing.aes_ns, "otp_write", line)
+            self.tracer.crypto(t, self._aes_ns, "otp_write", line)
 
         # 4. persist.
-        if self.counter_cache.write_through:
+        if self._cc_write_through:
             counter_entry = self._counter_entry(
-                line, block_key, payload_wanted=self.config.functional
+                line, block_key, payload_wanted=self._functional
             )
             data_entry = self._data_entry(line, ciphertext)
-            if self.config.atomicity_register:
+            if self._atomicity_register:
                 # Figure 7: both staged, both appended as one unit.
                 durable = self.controller.append_pair(
                     t_enc, data_entry, counter_entry
@@ -356,12 +371,12 @@ class SecureMemorySystem:
                     core=core,
                 )
                 self.crash_ctl.probe("after-data-append")
-        elif self.config.sca_mode and persistent:
+        elif self._sca_mode and persistent:
             # SCA: persistent (clwb-originated) writes carry their counter
             # into the ADR domain atomically; the cached copy is then
             # clean. Evictions fall through to the data-only path below.
             counter_entry = self._counter_entry(
-                line, block_key, payload_wanted=self.config.functional
+                line, block_key, payload_wanted=self._functional
             )
             data_entry = self._data_entry(line, ciphertext)
             durable = self.controller.append_pair(t_enc, data_entry, counter_entry)
@@ -376,7 +391,7 @@ class SecureMemorySystem:
             self.crash_ctl.probe("after-data-append")
             self._osiris_tick(t_enc, line, block_key, core)
 
-        if self.config.osiris_stop_loss > 0 and self.config.functional and payload is not None:
+        if self._osiris_stop_loss > 0 and self._functional and payload is not None:
             # ECC/MAC check bits travel with the line (recovery oracle).
             self.controller.nvm.set_mac(line, _line_mac(payload))
 
@@ -413,12 +428,12 @@ class SecureMemorySystem:
     def read_line(self, t: float, line: int, core: int = 0) -> ReadLineResult:
         """Service an LLC-miss read."""
         self._check_alive()
-        self.stats.inc("secmem", "data_reads")
+        self._vals[self._k_data_reads] += 1
         data_result = self.controller.read(t, line)
 
-        if not self.config.encrypted:
+        if not self._encrypted:
             payload = (
-                self.controller.read_payload(line) if self.config.functional else None
+                self.controller.read_payload(line) if self._functional else None
             )
             return ReadLineResult(
                 finish_time=data_result.finish_time,
@@ -433,9 +448,10 @@ class SecureMemorySystem:
         # Read-path hit rate tracked separately: these are the hits that
         # decide whether OTP generation overlaps the data fetch (Fig. 2b),
         # i.e. the hit rate Figure 17a is about.
-        self.stats.inc("cc", "read_accesses")
+        vals = self._vals
+        vals[self._k_cc_read_accesses] += 1
         if hit:
-            self.stats.inc("cc", "read_hits")
+            vals[self._k_cc_read_hits] += 1
         if fetch:
             # Counter fetch runs in parallel with the data read, but the
             # OTP can only be generated once the counter arrives.
@@ -446,7 +462,7 @@ class SecureMemorySystem:
             victim = self._counter_entry(
                 line=writeback_page * self.counters.lines_per_block,
                 block_key=writeback_page,
-                payload_wanted=self.config.functional,
+                payload_wanted=self._functional,
             )
             self.controller.append_write(
                 t,
@@ -458,13 +474,13 @@ class SecureMemorySystem:
                 core=core,
             )
 
-        pad_ready = ctr_ready + self.config.timing.aes_ns
+        pad_ready = ctr_ready + self._aes_ns
         if self.tracer.enabled:
-            self.tracer.crypto(ctr_ready, self.config.timing.aes_ns, "otp_read", line)
+            self.tracer.crypto(ctr_ready, self._aes_ns, "otp_read", line)
         finish = max(data_result.finish_time, pad_ready)
 
         payload = None
-        if self.config.functional:
+        if self._functional:
             payload = self.functional_read_plaintext(line)
         return ReadLineResult(
             finish_time=finish, payload=payload, counter_cache_hit=hit

@@ -1,17 +1,36 @@
 """Wall-clock benchmark of the experiment sweep runner.
 
-Times the standard Figure 13 sweep four ways — serial with the trace
-cache disabled (the pre-runner baseline), serial with the cache, parallel
-with ``--jobs N`` (journaling each completed point), and a resume pass
-over the journal the parallel leg wrote (every point satisfied from disk,
-nothing simulated) — and writes the measurements to a JSON file
-(``BENCH_SWEEP.json`` by convention; the start of the repo's perf
-trajectory). Each record follows the schema
-``{name, scale, jobs, wall_s, points, runner}`` where ``runner`` is the
-:meth:`~repro.experiments.runner.RunnerReport.to_dict` accounting of that
-leg (retries, timeouts, resumed points, serial fallbacks, failures); the
-``speedup`` block reports the headline ratios the runner is responsible
-for.
+Times the standard Figure 13 sweep along the repo's perf trajectory and
+writes the measurements to a JSON file (``BENCH_SWEEP.json`` by
+convention). Legs, in execution order:
+
+``serial-nocache``
+    The reference timing model (``hot_path=False`` — the straight-line
+    pre-optimisation code paths kept for differential testing) with the
+    trace cache disabled: the pre-runner baseline.
+``serial``
+    The reference model with the trace cache enabled.
+``full-fidelity``
+    The production hot path at ``fidelity="full"``: payload-tracking
+    traces and the byte-level crypto/NVM functional machinery.
+``timing-fidelity``
+    The production hot path at ``fidelity="timing"`` (the default mode):
+    identical simulated results, no functional byte work. This is the
+    headline serial leg.
+``hotpath``
+    The production hot path again with a warm trace cache — isolates the
+    simulator loop itself. CI asserts this leg is at least 2x faster
+    than the ``serial`` reference leg (``tools/check_bench_ratio.py``).
+``parallel`` / ``resume``
+    Process fan-out over the production configuration, then a pure
+    journal-resume pass (nothing simulated).
+
+Every leg simulates the exact same results — the golden-digest
+guarantee — so the legs differ only in wall clock. Each record follows
+the schema ``{name, scale, jobs, wall_s, points, runner}`` where
+``runner`` is the :meth:`~repro.experiments.runner.RunnerReport.to_dict`
+accounting of that leg; the ``speedup`` block reports the headline
+ratios.
 
 Run via ``python -m repro bench-sweep`` or
 ``python benchmarks/bench_wallclock.py``.
@@ -19,6 +38,7 @@ Run via ``python -m repro bench-sweep`` or
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import tempfile
@@ -35,23 +55,41 @@ def _timed_sweep(
     jobs: int,
     cache_enabled: bool,
     journal: Optional[str] = None,
+    fidelity: str = "timing",
+    base_config=None,
+    clear_cache: bool = True,
 ) -> Tuple[float, int, Optional[Dict[str, object]]]:
     """One fig13 sweep; returns (wall s, number of points, runner accounting)."""
     from repro.experiments import fig13, runner
     from repro.sim import trace_cache
 
     trace_cache.configure(cache_enabled)
-    trace_cache.clear()
+    if clear_cache:
+        trace_cache.clear()
     try:
         started = time.perf_counter()
         points = fig13.run(
-            scale, request_sizes=tuple(request_sizes), jobs=jobs, journal=journal
+            scale,
+            request_sizes=tuple(request_sizes),
+            jobs=jobs,
+            journal=journal,
+            fidelity=fidelity,
+            base_config=base_config,
         )
         wall = time.perf_counter() - started
     finally:
         trace_cache.configure(True)
     report = runner.last_report()
     return wall, len(points), report.to_dict() if report is not None else None
+
+
+def _reference_config(scale: str):
+    """The ``hot_path=False`` base config for the reference-model legs."""
+    from repro.experiments.common import experiment_base_config, get_scale
+
+    return dataclasses.replace(
+        experiment_base_config(get_scale(scale)), hot_path=False
+    )
 
 
 def _timed_recovery_sweep(scale: str, jobs: int, runs: List[Dict[str, object]]) -> float:
@@ -86,7 +124,9 @@ def run_sweep_benchmark(
     request_sizes: Sequence[int] = BENCH_REQUEST_SIZES,
     output: Optional[str] = "BENCH_SWEEP.json",
 ) -> Dict[str, object]:
-    """Benchmark the fig13 sweep serial vs cached vs parallel vs resume.
+    """Benchmark the fig13 sweep across the legs described in the module
+    docstring: reference model (cold/cached), production full/timing
+    fidelity, warm hot path, parallel, and journal resume.
 
     Returns the payload written to ``output`` (pass ``None`` to skip the
     file). Simulated results are identical across the runs — only
@@ -98,10 +138,23 @@ def run_sweep_benchmark(
     runs: List[Dict[str, object]] = []
 
     def record(
-        name: str, n_jobs: int, cache_enabled: bool, journal: Optional[str] = None
+        name: str,
+        n_jobs: int,
+        cache_enabled: bool,
+        journal: Optional[str] = None,
+        fidelity: str = "timing",
+        base_config=None,
+        clear_cache: bool = True,
     ) -> float:
         wall, n_points, runner_accounting = _timed_sweep(
-            scale, request_sizes, n_jobs, cache_enabled, journal=journal
+            scale,
+            request_sizes,
+            n_jobs,
+            cache_enabled,
+            journal=journal,
+            fidelity=fidelity,
+            base_config=base_config,
+            clear_cache=clear_cache,
         )
         runs.append(
             {
@@ -115,10 +168,18 @@ def run_sweep_benchmark(
         )
         return wall
 
+    reference = _reference_config(scale)
     with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp:
         journal = os.path.join(tmp, "sweep-journal.jsonl")
-        serial_nocache = record("serial-nocache", 1, False)
-        serial = record("serial", 1, True)
+        serial_nocache = record(
+            "serial-nocache", 1, False, base_config=reference
+        )
+        serial = record("serial", 1, True, base_config=reference)
+        full_fidelity = record("full-fidelity", 1, True, fidelity="full")
+        timing_fidelity = record("timing-fidelity", 1, True)
+        # Same production configuration as timing-fidelity, but the trace
+        # cache stays warm from the previous leg: pure simulator cost.
+        hotpath = record("hotpath", 1, True, clear_cache=False)
         parallel = record("parallel", jobs, True, journal=journal)
         resume = record("resume", jobs, True, journal=journal)
         _timed_recovery_sweep(scale, jobs, runs)
@@ -127,12 +188,26 @@ def run_sweep_benchmark(
         "benchmark": "fig13-sweep",
         "runs": runs,
         "speedup": {
-            # Trace memoization alone (serial, cold vs warm generation).
+            # Trace memoization alone (reference model, cold vs warm
+            # generation).
             "trace_cache": round(serial_nocache / serial, 3) if serial else 0.0,
-            # Process fan-out on top of the cache.
-            "parallel_vs_serial": round(serial / parallel, 3) if parallel else 0.0,
+            # The flattened hot path vs the reference model, trace cache
+            # warm/enabled on both sides. CI enforces >= 2.0
+            # (tools/check_bench_ratio.py).
+            "hotpath_vs_serial": round(serial / hotpath, 3) if hotpath else 0.0,
+            # Timing-only fidelity vs the full functional byte path on
+            # the same production simulator.
+            "timing_vs_full": (
+                round(full_fidelity / timing_fidelity, 3) if timing_fidelity else 0.0
+            ),
+            # Process fan-out on top of the production serial leg.
+            "parallel_vs_serial": (
+                round(timing_fidelity / parallel, 3) if parallel else 0.0
+            ),
             # Journal resume vs re-simulating (the crash-recovery payoff).
             "resume_vs_parallel": round(parallel / resume, 3) if resume else 0.0,
+            # The whole trajectory: pre-runner reference baseline vs the
+            # parallel production harness.
             "total": round(serial_nocache / parallel, 3) if parallel else 0.0,
         },
         "host_cpus": os.cpu_count(),
@@ -166,6 +241,8 @@ def format_summary(payload: Dict[str, object]) -> str:
     speedup = payload["speedup"]  # type: ignore[index]
     lines.append(
         f"{'speedup':>16}: trace-cache {speedup['trace_cache']}x, "
+        f"hotpath {speedup['hotpath_vs_serial']}x, "
+        f"timing-vs-full {speedup['timing_vs_full']}x, "
         f"parallel {speedup['parallel_vs_serial']}x, "
         f"resume {speedup['resume_vs_parallel']}x, "
         f"total {speedup['total']}x "

@@ -39,8 +39,17 @@ def run(
     request_sizes=REQUEST_SIZES,
     jobs: int = 1,
     journal: str | None = None,
+    fidelity: str = "timing",
+    base_config=None,
 ) -> List[Fig13Point]:
-    """Run the full Figure 13 sweep; returns one point per cell."""
+    """Run the full Figure 13 sweep; returns one point per cell.
+
+    ``fidelity`` selects the simulation fidelity for every point
+    (``"timing"`` — the default, functional byte work skipped — or
+    ``"full"``); both produce bit-identical results. ``base_config``
+    overrides the scale's default :class:`SimConfig` (used by the
+    benchmark harness to time the ``hot_path=False`` reference model).
+    """
     if EVALUATED_SCHEMES[0] is not Scheme.UNSEC:
         # The first scheme of each cell is the normalization baseline; a
         # reordered EVALUATED_SCHEMES would silently normalise to the
@@ -50,7 +59,7 @@ def run(
             f"baseline), got {EVALUATED_SCHEMES[0]!r}"
         )
     scale = get_scale(scale) if isinstance(scale, str) else scale
-    base = experiment_base_config(scale)
+    base = base_config if base_config is not None else experiment_base_config(scale)
     cells = [(workload, size) for workload in WORKLOAD_NAMES for size in request_sizes]
     specs = [
         PointSpec(
@@ -61,6 +70,7 @@ def run(
             footprint=scale.footprint,
             base_config=base,
             seed=1,
+            fidelity=fidelity,
         )
         for (workload, size) in cells
         for scheme in EVALUATED_SCHEMES

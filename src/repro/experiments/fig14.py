@@ -37,6 +37,7 @@ def run(
     request_size: int = 1024,
     jobs: int = 1,
     journal: str | None = None,
+    fidelity: str = "timing",
 ) -> List[Fig14Point]:
     scale = get_scale(scale) if isinstance(scale, str) else scale
     base = experiment_base_config(scale)
@@ -54,6 +55,7 @@ def run(
             footprint=None,
             base_config=base,
             seed=1,
+            fidelity=fidelity,
             n_programs=n_programs,
         )
         for (workload, n_programs) in cells

@@ -43,7 +43,9 @@ from repro.sim.metrics import SimResult
 
 #: Bump when a model change intentionally shifts simulation results —
 #: this (with ``repro.__version__``) invalidates every existing journal.
-JOURNAL_SALT = "supermem-journal-v1"
+#: v2: PointSpec grew ``fidelity`` and SimConfig grew ``fidelity``/
+#: ``hot_path``, changing every spec's asdict() shape.
+JOURNAL_SALT = "supermem-journal-v2"
 
 
 def _jsonify(obj: object) -> object:

@@ -127,6 +127,11 @@ class PointSpec:
     #: Kernel-specific knobs as a tuple of ``(key, value)`` pairs — kept
     #: hashable and picklable so specs stay frozen and journal-digestable.
     kernel_params: Tuple[Tuple[str, object], ...] = ()
+    #: Simulation fidelity: ``"timing"`` (default — skip functional byte
+    #: work, identical timing/stats) or ``"full"``. Ignored by the
+    #: recovery kernel, which always runs full fidelity. Part of the spec
+    #: so the journal digest distinguishes the two modes.
+    fidelity: str = "timing"
 
     def label(self) -> str:
         """Short human label for progress/failure reporting."""
@@ -346,6 +351,7 @@ def _run_point(spec: PointSpec) -> SimResult:
             footprint=spec.footprint,
             base_config=spec.base_config,
             seed=spec.seed,
+            fidelity=spec.fidelity,
         )
     from repro.sim.simulator import simulate_workload
 
@@ -361,6 +367,7 @@ def _run_point(spec: PointSpec) -> SimResult:
         seed=spec.seed,
         warmup_ops=spec.warmup_ops,
         counter_organization=spec.counter_organization,
+        fidelity=spec.fidelity,
     )
 
 

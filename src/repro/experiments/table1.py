@@ -81,6 +81,9 @@ def _build(system_kind: str):
         )
     else:
         raise ValueError(system_kind)
+    # Table 1 inspects recovered byte images, so it always needs the
+    # functional crypto path regardless of any sweep-level fidelity mode.
+    cfg = dataclasses.replace(cfg, fidelity="full", functional=True)
     crash = CrashController()
     system = SecureMemorySystem(cfg, crash=crash)
     domain = DirectDomain(system)

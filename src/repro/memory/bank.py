@@ -58,6 +58,7 @@ class Bank:
         rank: RankState,
         stats: Stats,
         tracer=NULL_TRACER,
+        hot_path: bool = True,
     ):
         self.index = index
         self._timing = timing
@@ -71,6 +72,28 @@ class Bank:
         self.open_row: Optional[int] = None
         #: Completion time of the most recent write (for tWTR).
         self.last_write_end: float = 0.0
+        # Service routines run once per drained write / demand read, so
+        # the derived-per-call values are hoisted once here: the namespace
+        # string (an f-string property in the reference path), the
+        # TimingConfig-derived service latencies (properties computing
+        # sums/divisions), and prebuilt Stats.raw() keys.
+        self._vals = stats.raw()
+        ns = f"bank.{index}"
+        self._k_writes = (ns, "writes")
+        self._k_reads = (ns, "reads")
+        self._k_busy_ns = (ns, "busy_ns")
+        self._k_row_hits = (ns, "row_hits")
+        self._k_row_misses = (ns, "row_misses")
+        self._write_service_ns = timing.write_service_ns
+        self._read_service_ns = timing.read_service_ns
+        self._read_hit_service_ns = timing.read_hit_service_ns
+        self._twtr_ns = timing.twtr_ns
+        self._enforce_twtr = config.enforce_twtr
+        self._row_buffer = config.row_buffer
+        if not hot_path:
+            # Reference-mode contrast leg: per-call property walks.
+            self.service_write = self._service_write_ref  # type: ignore[method-assign]
+            self.service_read = self._service_read_ref  # type: ignore[method-assign]
 
     @property
     def _ns(self) -> str:
@@ -86,15 +109,18 @@ class Bank:
 
     def service_write(self, start: float) -> float:
         """Occupy the bank with one line write; returns completion time."""
-        start = max(start, self.free_at)
+        free_at = self.free_at
+        if free_at > start:
+            start = free_at
         start = self._rank.activate(start)
-        end = start + self._timing.write_service_ns
+        end = start + self._write_service_ns
         self.free_at = end
         self.last_write_end = end
         # PCM writes bypass/close the row buffer.
         self.open_row = None
-        self._stats.inc(self._ns, "writes")
-        self._stats.inc(self._ns, "busy_ns", end - start)
+        vals = self._vals
+        vals[self._k_writes] += 1
+        vals[self._k_busy_ns] += end - start
         if self._tracer.enabled:
             self._tracer.bank_busy(start, end, self.index, "write")
         return end
@@ -104,9 +130,53 @@ class Bank:
 
         Returns ``(completion_time, row_buffer_hit)``.
         """
+        free_at = self.free_at
+        if free_at > start:
+            start = free_at
+        last_write_end = self.last_write_end
+        if self._enforce_twtr and start < last_write_end + self._twtr_ns:
+            # Only delays reads that immediately chase a write on this bank.
+            if last_write_end > 0:
+                turnaround = last_write_end + self._twtr_ns
+                if turnaround > start:
+                    start = turnaround
+        vals = self._vals
+        hit = self._row_buffer and self.open_row == row
+        if hit:
+            duration = self._read_hit_service_ns
+            vals[self._k_row_hits] += 1
+        else:
+            start = self._rank.activate(start)
+            duration = self._read_service_ns
+            vals[self._k_row_misses] += 1
+        end = start + duration
+        self.free_at = end
+        if self._row_buffer:
+            self.open_row = row
+        vals[self._k_reads] += 1
+        vals[self._k_busy_ns] += end - start
+        if self._tracer.enabled:
+            self._tracer.bank_busy(start, end, self.index, "read", row_hit=hit)
+        return end, hit
+
+    def _service_write_ref(self, start: float) -> float:
+        """Reference write service: identical timing, per-call lookups."""
+        start = max(start, self.free_at)
+        start = self._rank.activate(start)
+        end = start + self._timing.write_service_ns
+        self.free_at = end
+        self.last_write_end = end
+        self.open_row = None
+        self._stats.inc(self._ns, "writes")
+        self._stats.inc(self._ns, "busy_ns", end - start)
+        if self._tracer.enabled:
+            self._tracer.bank_busy(start, end, self.index, "write")
+        return end
+
+    def _service_read_ref(self, start: float, row: int) -> Tuple[float, bool]:
+        """Reference read service: identical timing, per-call lookups."""
         start = max(start, self.free_at)
         if self._config.enforce_twtr and start < self.last_write_end + self._timing.twtr_ns:
-            # Only delays reads that immediately chase a write on this bank.
             if self.last_write_end > 0:
                 start = max(start, self.last_write_end + self._timing.twtr_ns)
         hit = self._config.row_buffer and self.open_row == row

@@ -49,6 +49,11 @@ class CounterLayout(abc.ABC):
     def __init__(self, amap: AddressMap):
         self._amap = amap
         self._base_line = amap.n_lines  # start of the counter extension
+        # placement() is pure in (block_key, data_bank) for a constructed
+        # layout, and it runs once per persisted line — memoize the frozen
+        # results (working sets touch few distinct pages, so this stays
+        # small and hits nearly always).
+        self._placement_memo: dict = {}
 
     def counter_line(self, block_key: int) -> int:
         """Line index of the counter line for block ``block_key``."""
@@ -63,12 +68,18 @@ class CounterLayout(abc.ABC):
 
     def placement(self, block_key: int, data_bank: int) -> CounterPlacement:
         """Full placement of the counter line for ``block_key``."""
+        key = (block_key, data_bank)
+        cached = self._placement_memo.get(key)
+        if cached is not None:
+            return cached
         line = self.counter_line(block_key)
-        return CounterPlacement(
+        result = CounterPlacement(
             line=line,
             bank=self.bank_of(block_key, data_bank),
             row=self._row(line),
         )
+        self._placement_memo[key] = result
+        return result
 
 
 class SingleBankLayout(CounterLayout):

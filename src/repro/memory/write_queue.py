@@ -86,7 +86,34 @@ class WriteQueue:
         self._by_line: Dict[int, List[WQEntry]] = {}
         #: line -> queued *counter* entries for that line, FIFO order (CWC).
         self._counters_by_line: Dict[int, List[WQEntry]] = {}
+        #: bank -> seq-ordered {seq: entry} of queued *data* writes, and the
+        #: same for *counter* writes. The drain scheduler's candidate scan
+        #: only needs the FIFO-first entry of each bucket (see
+        #: ``MemoryController._best_candidate``), so these shrink the scan
+        #: from O(queue) to O(banks).
+        self.data_by_bank: Dict[int, Dict[int, WQEntry]] = {}
+        self.counters_by_bank: Dict[int, Dict[int, WQEntry]] = {}
+        #: True while every append's ``enq_time`` has been >= the previous
+        #: append's — the precondition for the per-bank candidate scan
+        #: (FIFO-first of a bucket then dominates the rest of the bucket).
+        #: A single violation (possible under multicore interleaving)
+        #: permanently clears it and the controller falls back to the
+        #: full-queue scan.
+        self.enq_monotone = True
+        self._last_enq = float("-inf")
         self._seq = 0
+        #: Bumped on every append/removal; the drain scheduler uses it to
+        #: reuse its last candidate scan while the queue is unchanged.
+        self.version = 0
+        # Prebuilt (namespace, counter) keys bumped directly in the shared
+        # Stats.raw() dict — exact inc()/maximize() semantics without a
+        # method call per append (the append path is per-CLWB hot).
+        self._vals = stats.raw()
+        self._k_appends = ("wq", "appends")
+        self._k_counter_appends = ("wq", "counter_appends")
+        self._k_data_appends = ("wq", "data_appends")
+        self._k_peak = ("wq", "peak_occupancy")
+        self._k_cwc = ("wq", "cwc_coalesced")
 
     # ------------------------------------------------------------------
     # Capacity
@@ -110,6 +137,9 @@ class WriteQueue:
         self._by_line.setdefault(entry.line, []).append(entry)
         if entry.is_counter:
             self._counters_by_line.setdefault(entry.line, []).append(entry)
+            self.counters_by_bank.setdefault(entry.bank, {})[entry.seq] = entry
+        else:
+            self.data_by_bank.setdefault(entry.bank, {})[entry.seq] = entry
 
     def _unindex(self, entry: WQEntry) -> None:
         bucket = self._by_line[entry.line]
@@ -121,10 +151,20 @@ class WriteQueue:
             bucket.remove(entry)
             if not bucket:
                 del self._counters_by_line[entry.line]
+            bank_bucket = self.counters_by_bank[entry.bank]
+            del bank_bucket[entry.seq]
+            if not bank_bucket:
+                del self.counters_by_bank[entry.bank]
+        else:
+            bank_bucket = self.data_by_bank[entry.bank]
+            del bank_bucket[entry.seq]
+            if not bank_bucket:
+                del self.data_by_bank[entry.bank]
 
     def _delete(self, entry: WQEntry) -> None:
         del self._entries[entry.seq]
         self._unindex(entry)
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Append path (with CWC)
@@ -137,12 +177,13 @@ class WriteQueue:
         possible removal — use :meth:`would_coalesce` first when the queue
         is full).
         """
+        vals = self._vals
         coalesced = False
         if self.cwc_enabled and entry.is_counter:
             older = self._find_counter(entry.line)
             if older is not None:
                 coalesced = True
-                self._stats.inc("wq", "cwc_coalesced")
+                vals[self._k_cwc] += 1
                 if self._tracer.enabled:
                     self._tracer.wq_coalesce(
                         entry.enq_time, entry.line, self.cwc_policy
@@ -153,23 +194,31 @@ class WriteQueue:
                     # merge-in-place: refresh the older slot and stop.
                     older.payload = entry.payload
                     self._count_append(entry)
+                    self.version += 1
                     return True
         if self.full:
             raise SimulationError("append to full write queue")
+        if entry.enq_time < self._last_enq:
+            self.enq_monotone = False
+        self._last_enq = entry.enq_time
         entry.seq = self._seq
         self._seq += 1
+        self.version += 1
         self._entries[entry.seq] = entry
         self._index(entry)
         self._count_append(entry)
-        self._stats.maximize("wq", "peak_occupancy", len(self._entries))
+        occupancy = len(self._entries)
+        if occupancy > vals[self._k_peak]:
+            vals[self._k_peak] = occupancy
         return coalesced
 
     def _count_append(self, entry: WQEntry) -> None:
-        self._stats.inc("wq", "appends")
+        vals = self._vals
+        vals[self._k_appends] += 1
         if entry.is_counter:
-            self._stats.inc("wq", "counter_appends")
+            vals[self._k_counter_appends] += 1
         else:
-            self._stats.inc("wq", "data_appends")
+            vals[self._k_data_appends] += 1
 
     def would_coalesce(self, line: int) -> bool:
         """Whether appending a counter write to ``line`` frees a slot."""
@@ -214,3 +263,6 @@ class WriteQueue:
         self._entries.clear()
         self._by_line.clear()
         self._counters_by_line.clear()
+        self.data_by_bank.clear()
+        self.counters_by_bank.clear()
+        self.version += 1

@@ -70,6 +70,17 @@ class CoreEngine:
         self.txn_latencies: List[float] = []
         self._txn_start: Optional[float] = None
         self._measuring = True
+        # Hoisted timing constants: the reference step re-reads
+        # config.timing.<attr> per op; the fast step uses these.
+        timing = config.timing
+        self._cpu_op_ns = timing.cpu_op_ns
+        self._clwb_issue_ns = timing.clwb_issue_ns
+        self._sfence_ns = timing.sfence_ns
+        # hot_path=False swaps in the straightforward per-op implementation
+        # (the differential oracle / slow benchmark leg). Instance-attribute
+        # binding shadows the class method, so callers pay no dispatch.
+        if not config.hot_path:
+            self.step = self._step_ref  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
 
@@ -78,7 +89,65 @@ class CoreEngine:
         self._measuring = measuring
 
     def step(self, op: TraceOp) -> None:
-        """Execute one trace op, advancing this core's clock."""
+        """Execute one trace op, advancing this core's clock.
+
+        Fast path: loads/stores drive :meth:`CacheHierarchy.access` (tuple
+        result, no outcome allocation) with timing constants pre-hoisted.
+        Arithmetic order matches :meth:`_step_ref` operation for operation,
+        so clocks — and therefore all stats — are bit-identical.
+        """
+        kind = op[0]
+        if kind == OP_LOAD or kind == OP_STORE:
+            clock = self.clock + self._cpu_op_ns
+            line = op[1]
+            hit_level, latency, writebacks = self.hierarchy.access(
+                line, kind == OP_STORE
+            )
+            clock += latency
+            if hit_level is None:
+                # Memory access on the critical path (write-allocate fetch
+                # for stores, demand read for loads).
+                clock = self.system.read_line(clock, line, core=self.core_id).finish_time
+            self.clock = clock
+            if writebacks:
+                # Dirty last-level evictions: asynchronous from the core's
+                # view (hardware write buffers), so the clock does not chase
+                # them. persistent=False marks them as not-crash-critical
+                # (only the SCA scheme differentiates).
+                persist = self.system.persist_line
+                core = self.core_id
+                for victim in writebacks:
+                    persist(clock, victim, core=core, persistent=False)
+        elif kind == OP_CLWB:
+            clock = self.clock + self._clwb_issue_ns
+            self.clock = clock
+            line = op[1]
+            payload = op[2] if len(op) > 2 else None
+            if self.hierarchy.clwb(line):
+                result = self.system.persist_line(
+                    clock, line, payload=payload, core=self.core_id
+                )
+                # Durability is append time (ADR); the core resumes once
+                # the line is accepted into the write queue.
+                if result.durable_time > clock:
+                    self.clock = result.durable_time
+        elif kind == OP_FENCE:
+            self.clock += self._sfence_ns
+        elif kind == OP_TXN_BEGIN:
+            self._txn_start = self.clock
+        elif kind == OP_TXN_END:
+            if self._txn_start is not None and self._measuring:
+                self.txn_latencies.append(self.clock - self._txn_start)
+            if self._txn_start is not None and self.tracer.enabled:
+                self.tracer.txn(self._txn_start, self.clock, self.core_id)
+            self._txn_start = None
+        elif kind == OP_COMPUTE:
+            self.clock += op[1]
+        else:
+            raise SimulationError(f"unknown trace op {op!r}")
+
+    def _step_ref(self, op: TraceOp) -> None:
+        """Reference step: per-op attribute walks, outcome objects."""
         kind = op[0]
         timing = self.config.timing
         if kind == OP_LOAD:
@@ -95,8 +164,6 @@ class CoreEngine:
                 result = self.system.persist_line(
                     self.clock, line, payload=payload, core=self.core_id
                 )
-                # Durability is append time (ADR); the core resumes once
-                # the line is accepted into the write queue.
                 self.clock = max(self.clock, result.durable_time)
         elif kind == OP_FENCE:
             self.clock += timing.sfence_ns
@@ -114,23 +181,20 @@ class CoreEngine:
             raise SimulationError(f"unknown trace op {op!r}")
 
     def _access(self, line: int, write: bool) -> None:
-        outcome = self.hierarchy.write(line) if write else self.hierarchy.read(line)
+        outcome = (
+            self.hierarchy.write_ref(line) if write else self.hierarchy.read_ref(line)
+        )
         self.clock += outcome.latency_ns
         if outcome.hit_level is None:
-            # Memory access on the critical path (write-allocate fetch for
-            # stores, demand read for loads).
             result = self.system.read_line(self.clock, line, core=self.core_id)
             self.clock = result.finish_time
         for victim in outcome.memory_writebacks:
-            # Dirty last-level evictions: asynchronous from the core's view
-            # (hardware write buffers), so the clock does not chase them.
-            # persistent=False marks them as not-crash-critical (only the
-            # SCA scheme differentiates).
             self.system.persist_line(
                 self.clock, victim, core=self.core_id, persistent=False
             )
 
     def run(self, ops) -> None:
         """Replay a whole op sequence."""
+        step = self.step
         for op in ops:
-            self.step(op)
+            step(op)

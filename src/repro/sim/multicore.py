@@ -90,6 +90,7 @@ def simulate_multiprogrammed(
     footprint: Optional[int] = None,
     base_config: Optional[SimConfig] = None,
     seed: int = 1,
+    fidelity: str = "timing",
 ) -> SimResult:
     """The Figure 14 kernel: N programs on N cores.
 
@@ -99,6 +100,10 @@ def simulate_multiprogrammed(
     worth of capacity and its heap sits in its own region of the physical
     space, so with ``n_programs == n_banks`` every bank is busy — the
     XBank worst case the paper calls out.
+
+    ``fidelity`` mirrors :func:`~repro.sim.simulator.simulate_workload`:
+    ``"timing"`` (default) skips functional byte work, ``"full"`` carries
+    payloads through the crypto path; both produce identical timing/stats.
     """
     if isinstance(workload, str):
         if n_programs is None:
@@ -114,7 +119,7 @@ def simulate_multiprogrammed(
     if n_programs < 1:
         raise ConfigError("need at least one program")
 
-    cfg = dataclasses.replace(scheme_config(scheme, base_config), functional=False)
+    cfg = dataclasses.replace(scheme_config(scheme, base_config), fidelity=fidelity)
     amap = cfg.address_map()
     if footprint is None:
         footprint = amap.bank_size
@@ -129,6 +134,7 @@ def simulate_multiprogrammed(
             heap_base=program * region,
             heap_capacity=region,
             seed=seed + program,
+            track_payloads=cfg.functional,
         )
         traces.append(trace.ops)
     sim = MulticoreSimulator(cfg, n_cores=n_programs)

@@ -83,20 +83,28 @@ def simulate_workload(
     warmup_ops: int = 0,
     counter_organization: str = "split",
     tracer=None,
+    fidelity: str = "timing",
 ) -> SimResult:
     """Generate a workload trace and simulate it under ``scheme``.
 
     This is the standard experiment kernel: the same trace (same seed)
-    replayed under different schemes isolates the scheme effect. Runs are
-    timing-only (``functional=False``): traces carry no payloads, and
-    skipping per-write encryption/serialisation keeps sweeps fast without
-    touching any latency accounting.
+    replayed under different schemes isolates the scheme effect.
+
+    ``fidelity`` selects how much functional work rides along with the
+    timing model. The default ``"timing"`` forces ``functional=False``
+    (via :class:`SimConfig`'s coupling): traces carry no payloads and no
+    pad generation, XOR, or NVM byte image is produced — the historical
+    behaviour of this function. ``"full"`` keeps ``functional`` as the
+    base config has it (True by default), generating payload-tracking
+    traces and running the byte-level crypto path. Both fidelities charge
+    identical latencies and count identical stats — asserted bit-for-bit
+    by tests/sim/test_fidelity.py.
 
     Trace generation is memoized per process (:mod:`repro.sim.trace_cache`):
     sweeping several schemes over the same (workload, size, seed) point
     generates the trace once and replays it under each scheme.
     """
-    cfg = dataclasses.replace(scheme_config(scheme, base_config), functional=False)
+    cfg = dataclasses.replace(scheme_config(scheme, base_config), fidelity=fidelity)
     trace = cached_generate_trace(
         workload,
         n_ops=n_ops,
@@ -104,6 +112,7 @@ def simulate_workload(
         footprint=footprint,
         seed=seed,
         warmup_ops=warmup_ops,
+        track_payloads=cfg.functional,
     )
     sim = Simulator(cfg, counter_organization=counter_organization, tracer=tracer)
     return sim.run(trace.ops, warmup_ops=trace.warmup_ops)

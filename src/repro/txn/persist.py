@@ -92,6 +92,18 @@ class MemoryDomain(abc.ABC):
     def sfence(self) -> None:
         """Order prior flushes before subsequent writes."""
 
+    def peek(self, addr: int, size: int) -> Optional[bytes]:
+        """Read ``size`` bytes at ``addr`` WITHOUT emitting read traffic.
+
+        Workloads use this when they need current contents to compute a
+        functional write (e.g. the array swap) but the corresponding
+        timing-visible loads are emitted elsewhere — keeping the op
+        stream identical between functional and timing-only traces.
+        Defaults to :meth:`load` for domains whose loads are side-effect
+        free.
+        """
+        return self.load(addr, size)
+
     def txn_begin(self, txn_id: int) -> None:  # noqa: B027 - optional hook
         """Mark a transaction start (trace bookkeeping only)."""
 
@@ -163,6 +175,12 @@ class TraceDomain(MemoryDomain):
         append = self.ops.append
         for line in lines_of_range(addr, size):
             append((OP_LOAD, line))
+        if self.track_payloads:
+            return self._read_content(addr, size)
+        return None
+
+    def peek(self, addr: int, size: int) -> Optional[bytes]:
+        """Current contents without recording any trace ops."""
         if self.track_payloads:
             return self._read_content(addr, size)
         return None

@@ -34,25 +34,20 @@ class ArrayWorkload(Workload):
         j = self.rng.randrange(self.n_entries)
         while j == i:
             j = self.rng.randrange(self.n_entries)
-        if self._functional:
-            # A real swap: exchange current contents.
-            data_i = self.domain.load(self.entry_addr(i), self.entry_size)
-            data_j = self.domain.load(self.entry_addr(j), self.entry_size)
-            writes = [
-                (self.entry_addr(i), self.entry_size, data_j),
-                (self.entry_addr(j), self.entry_size, data_i),
-            ]
-            reads = ()
-        else:
-            # Timing mode: same traffic, no bytes. The manager's prepare
-            # stage emits the old-data loads; the swap's own reads are the
-            # traversal reads.
-            writes = [
-                (self.entry_addr(i), self.entry_size, None),
-                (self.entry_addr(j), self.entry_size, None),
-            ]
-            reads = (
-                (self.entry_addr(i), self.entry_size),
-                (self.entry_addr(j), self.entry_size),
-            )
+        # Both modes emit the same op stream — the swap's traversal reads
+        # go through ``manager.run(reads=...)`` inside the transaction and
+        # the prepare stage emits the old-data loads. Functional mode
+        # additionally needs the current contents to compute the swapped
+        # values, read via the trace-invisible ``peek`` so the trace stays
+        # bit-identical to timing mode (tests/sim/test_fidelity.py).
+        data_i = self.domain.peek(self.entry_addr(i), self.entry_size)
+        data_j = self.domain.peek(self.entry_addr(j), self.entry_size)
+        writes = [
+            (self.entry_addr(i), self.entry_size, data_j),
+            (self.entry_addr(j), self.entry_size, data_i),
+        ]
+        reads = (
+            (self.entry_addr(i), self.entry_size),
+            (self.entry_addr(j), self.entry_size),
+        )
         self.manager.run(writes, reads=reads)

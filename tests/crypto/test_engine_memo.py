@@ -1,0 +1,78 @@
+"""Pad-memo correctness: caching must be semantically invisible.
+
+The pad engines memoize ``(line_addr, counter) -> pad`` (bounded FIFO).
+Pads are pure functions of the key, so the memo may only ever save
+recomputation — these tests pin that down differentially:
+
+* a memo hit returns exactly the recomputed pad (reuse detection);
+* a tiny memo under heavy eviction pressure never serves a stale pad
+  (every lookup equals an uncached engine over a random access stream);
+* batch ``pads()`` equals per-pair ``pad()`` and does not pollute the
+  memo;
+* ``memo_entries=0`` disables caching; negative sizes are rejected.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.crypto.engine import AESPadEngine, PRFPadEngine
+
+KEY = bytes(range(16))
+
+ENGINES = [AESPadEngine, PRFPadEngine]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestMemoTransparency:
+    def test_hit_equals_recompute(self, engine_cls):
+        warm = engine_cls(KEY)
+        cold = engine_cls(KEY, memo_entries=0)
+        first = warm.pad(0x40, 7)
+        again = warm.pad(0x40, 7)  # memo hit
+        assert first == again
+        assert again == cold.pad(0x40, 7)
+
+    def test_distinct_inputs_distinct_pads(self, engine_cls):
+        engine = engine_cls(KEY)
+        assert engine.pad(1, 1) != engine.pad(1, 2)
+        assert engine.pad(1, 1) != engine.pad(2, 1)
+
+    def test_tiny_memo_never_stale(self, engine_cls):
+        """Eviction-pressure differential against an uncached engine."""
+        rng = random.Random(1234)
+        tiny = engine_cls(KEY, memo_entries=2)
+        uncached = engine_cls(KEY, memo_entries=0)
+        # Few distinct keys + tiny memo => constant hits, misses, and
+        # FIFO evictions interleaved.
+        keys = [(rng.randrange(8), rng.randrange(4)) for _ in range(200)]
+        for line, counter in keys:
+            assert tiny.pad(line, counter) == uncached.pad(line, counter)
+        assert len(tiny._memo) <= 2
+
+    def test_batch_matches_individual(self, engine_cls):
+        engine = engine_cls(KEY)
+        pairs = [(line, counter) for line in range(5) for counter in range(3)]
+        batch = engine.pads(pairs)
+        assert batch == [engine_cls(KEY).pad(*pair) for pair in pairs]
+
+    def test_batch_skips_memo(self, engine_cls):
+        engine = engine_cls(KEY)
+        engine.pads([(9, 9), (10, 10)])
+        assert (9, 9) not in engine._memo
+
+    def test_zero_disables_memo(self, engine_cls):
+        engine = engine_cls(KEY, memo_entries=0)
+        engine.pad(3, 3)
+        assert engine._memo == {}
+
+    def test_negative_memo_rejected(self, engine_cls):
+        with pytest.raises(ConfigError):
+            engine_cls(KEY, memo_entries=-1)
+
+
+def test_engines_disagree_with_each_other():
+    """AES and PRF are different constructions — guard against one
+    silently delegating to the other."""
+    assert AESPadEngine(KEY).pad(5, 5) != PRFPadEngine(KEY).pad(5, 5)

@@ -15,7 +15,10 @@ silently:
 * every observability vocabulary constant of :mod:`repro.obs.events`
   (``CAT_*`` categories, ``TRACK_*`` series tracks, ``*_EV_*`` event
   names) must appear in ``docs/OBSERVABILITY.md`` or
-  ``docs/PERFORMANCE.md``.
+  ``docs/PERFORMANCE.md``;
+* every field of every configuration dataclass (``SimConfig`` and its
+  sub-configs) must be named in backticks in ``docs/CONFIG.md`` — a new
+  knob (``fidelity``, ``hot_path``, ...) cannot land undocumented.
 
 Plus the repo-wide markdown link check (``tools/check_links.py``) so a
 renamed doc breaks the tier-1 suite, not just CI.
@@ -105,6 +108,40 @@ class TestObservabilityDoc:
             "observability vocabulary undocumented in docs/OBSERVABILITY.md "
             f"or docs/PERFORMANCE.md: {sorted(missing)}"
         )
+
+
+class TestConfigDoc:
+    #: Every config dataclass whose fields docs/CONFIG.md must catalogue.
+    CONFIG_CLASSES = (
+        "SimConfig",
+        "MemoryConfig",
+        "TimingConfig",
+        "CacheConfig",
+        "CounterCacheConfig",
+    )
+
+    def test_every_config_field_is_documented(self):
+        import dataclasses
+
+        from repro.common import config as config_module
+
+        text = (DOCS / "CONFIG.md").read_text(encoding="utf-8")
+        missing = []
+        for cls_name in self.CONFIG_CLASSES:
+            cls = getattr(config_module, cls_name)
+            for field in dataclasses.fields(cls):
+                if f"`{field.name}`" not in text:
+                    missing.append(f"{cls_name}.{field.name}")
+        assert not missing, (
+            f"config fields undocumented in docs/CONFIG.md: {missing} — "
+            "add each field name in backticks with a one-line meaning"
+        )
+
+    def test_fidelity_modes_are_documented(self):
+        """The two fidelity values and the forcing rule must be stated."""
+        text = (DOCS / "CONFIG.md").read_text(encoding="utf-8")
+        for needle in ('`"timing"`', '`"full"`', "--fidelity"):
+            assert needle in text, f"docs/CONFIG.md lost {needle!r}"
 
 
 def _walk_parser():

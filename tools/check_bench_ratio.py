@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Perf-regression ratchet over BENCH_SWEEP.json speedup ratios.
+
+CI runs ``python -m repro bench-sweep`` and then this checker, which
+fails the build when a recorded speedup ratio falls below its floor.
+Ratios compare two legs of the *same* run on the *same* machine, so the
+check is robust to absolute runner speed (hosted CI machines vary a lot)
+while still catching a real regression: if the flattened hot path stops
+being meaningfully faster than the ``hot_path=False`` reference model,
+someone pessimised the production simulator loop.
+
+Current floors:
+
+* ``hotpath_vs_serial >= 2.0`` — the warm-cache production hot path must
+  stay at least 2x faster than the reference timing model (the measured
+  ratio at introduction was well above 4x, so this trips on regression,
+  not noise).
+
+Usage::
+
+    python tools/check_bench_ratio.py [BENCH_SWEEP.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: speedup-key -> minimum acceptable ratio.
+FLOORS = {
+    "hotpath_vs_serial": 2.0,
+}
+
+
+def check(path: str) -> int:
+    with open(path) as fh:
+        payload = json.load(fh)
+    speedup = payload.get("speedup")
+    if not isinstance(speedup, dict):
+        print(f"ERROR: {path} has no 'speedup' block", file=sys.stderr)
+        return 2
+    failures = 0
+    for key, floor in FLOORS.items():
+        ratio = speedup.get(key)
+        if not isinstance(ratio, (int, float)):
+            print(f"ERROR: speedup ratio {key!r} missing from {path}", file=sys.stderr)
+            failures += 1
+            continue
+        status = "ok" if ratio >= floor else "FAIL"
+        print(f"{key}: {ratio}x (floor {floor}x) {status}")
+        if ratio < floor:
+            failures += 1
+    if failures:
+        print(
+            f"ERROR: {failures} speedup floor(s) violated — the production "
+            "hot path regressed relative to the reference model",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(check(sys.argv[1] if len(sys.argv) > 1 else "BENCH_SWEEP.json"))
