@@ -195,6 +195,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="total execution attempts per sweep point before it is "
         "reported as failed (default 3; 1 disables retry)",
     )
+    run_parser.add_argument(
+        "--live",
+        action="store_true",
+        help="publish live fleet metrics while sweeping: a periodic status "
+        "line on stderr, a JSONL snapshot/event stream, and a Prometheus "
+        "text snapshot file (paths derive from --resume, else 'sweep.*'; "
+        "serve the .prom file with `repro serve-metrics`, analyse the "
+        "stream with `repro sweep-report`)",
+    )
+    run_parser.add_argument(
+        "--live-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between --live status/snapshot emissions (default 2)",
+    )
 
     bench_parser = sub.add_parser(
         "bench-sweep",
@@ -331,6 +347,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the recovery phases as Chrome trace-event JSON",
     )
 
+    serve_parser = sub.add_parser(
+        "serve-metrics",
+        help="serve a Prometheus .prom snapshot file over HTTP (stdlib only)",
+    )
+    serve_parser.add_argument(
+        "prom_file",
+        help="snapshot file a `run --live` sweep rewrites (e.g. sweep.prom)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=9464, help="bind port (default 9464; 0 = ephemeral)"
+    )
+
+    sweep_report_parser = sub.add_parser(
+        "sweep-report",
+        help="fleet-health report from a `run --live` metrics JSONL stream",
+    )
+    sweep_report_parser.add_argument(
+        "metrics_file",
+        help="metrics stream from a --live sweep (e.g. sweep.metrics.jsonl)",
+    )
+    sweep_report_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="also summarise this resume journal (results/failures/torn tails)",
+    )
+    sweep_report_parser.add_argument(
+        "--top", type=int, default=5, help="slowest points to list (default 5)"
+    )
+
     return parser
 
 
@@ -347,6 +396,19 @@ def main(argv=None) -> int:
         return _cmd_recovery_report(args)
     if args.command == "bench-sweep":
         return _cmd_bench_sweep(args)
+    if args.command == "serve-metrics":
+        from repro.obs.promserve import serve_metrics
+
+        return serve_metrics(args.prom_file, host=args.host, port=args.port)
+    if args.command == "sweep-report":
+        from repro.experiments.sweep_report import render_sweep_report_file
+
+        print(
+            render_sweep_report_file(
+                args.metrics_file, top=args.top, journal_path=args.journal
+            )
+        )
+        return 0
 
     if args.command == "list":
         for name in EXPERIMENTS:
@@ -355,27 +417,35 @@ def main(argv=None) -> int:
 
     jobs = _parse_jobs(args.jobs)
     _install_policy(args)
+    reporter = _install_live_metrics(args)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     json_path = args.json if len(names) == 1 else None
     sections = []
-    for name in names:
-        started = time.time()
-        print(
-            f"[repro] running {name} (scale={args.scale}, jobs={jobs})...",
-            file=sys.stderr,
-        )
-        sections.append(
-            _run_experiment(
-                name,
-                args.scale,
-                json_path=json_path,
-                jobs=jobs,
-                journal=args.resume,
-                fidelity=args.fidelity,
+    try:
+        for name in names:
+            started = time.time()
+            print(
+                f"[repro] running {name} (scale={args.scale}, jobs={jobs})...",
+                file=sys.stderr,
             )
-        )
-        print(f"[repro] {name} done in {time.time() - started:.1f}s", file=sys.stderr)
-        _report_sweep_health(name)
+            sections.append(
+                _run_experiment(
+                    name,
+                    args.scale,
+                    json_path=json_path,
+                    jobs=jobs,
+                    journal=args.resume,
+                    fidelity=args.fidelity,
+                )
+            )
+            print(
+                f"[repro] {name} done in {time.time() - started:.1f}s",
+                file=sys.stderr,
+            )
+            _report_sweep_health(name)
+    finally:
+        if reporter is not None:
+            reporter.stop()
     output = "\n".join(sections)
     if args.output:
         with open(args.output, "w") as fh:
@@ -396,6 +466,40 @@ def _install_policy(args) -> None:
     set_default_policy(
         RunnerPolicy(point_timeout_s=args.point_timeout, max_attempts=args.retries)
     )
+
+
+def _install_live_metrics(args):
+    """Stand up the ``--live`` pipeline: a real registry (installed as the
+    runner default), a JSONL event stream, and a started
+    :class:`~repro.obs.live.LiveReporter` rewriting the ``.prom`` snapshot.
+
+    Returns the reporter (caller must ``stop()`` it), or ``None`` when
+    ``--live`` is off — the runner then keeps its zero-overhead
+    ``NULL_METRICS`` default.
+    """
+    if not getattr(args, "live", False):
+        return None
+    from repro.experiments.runner import set_default_metrics
+    from repro.obs.live import LiveReporter
+    from repro.obs.metrics import MetricsRegistry, MetricsStream
+
+    base = args.resume if args.resume else "sweep"
+    stream_path = f"{base}.metrics.jsonl"
+    prom_path = f"{base}.prom"
+    registry = MetricsRegistry(stream=MetricsStream(stream_path))
+    set_default_metrics(registry)
+    reporter = LiveReporter(
+        registry,
+        interval_s=args.live_interval,
+        label=args.experiment,
+        prom_path=prom_path,
+    ).start()
+    print(
+        f"[repro] live metrics: stream={stream_path} prom={prom_path} "
+        f"(every {args.live_interval:g}s)",
+        file=sys.stderr,
+    )
+    return reporter
 
 
 def _report_sweep_health(name: str) -> None:

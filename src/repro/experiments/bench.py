@@ -21,6 +21,11 @@ convention). Legs, in execution order:
     The production hot path again with a warm trace cache — isolates the
     simulator loop itself. CI asserts this leg is at least 2x faster
     than the ``serial`` reference leg (``tools/check_bench_ratio.py``).
+``hotpath-metrics``
+    The warm hot path once more with a real in-memory
+    :class:`~repro.obs.metrics.MetricsRegistry` installed as the runner
+    default — pure instrumentation overhead. CI caps the
+    ``metrics_overhead`` ratio at 1.05 (metrics cost under 5%).
 ``parallel`` / ``resume``
     Process fan-out over the production configuration, then a pure
     journal-resume pass (nothing simulated).
@@ -58,14 +63,24 @@ def _timed_sweep(
     fidelity: str = "timing",
     base_config=None,
     clear_cache: bool = True,
+    metrics: bool = False,
 ) -> Tuple[float, int, Optional[Dict[str, object]]]:
-    """One fig13 sweep; returns (wall s, number of points, runner accounting)."""
+    """One fig13 sweep; returns (wall s, number of points, runner accounting).
+
+    ``metrics=True`` installs a real in-memory
+    :class:`~repro.obs.metrics.MetricsRegistry` (no JSONL stream) as the
+    runner default for the duration of the sweep — the ``hotpath-metrics``
+    leg, measuring pure instrumentation overhead against ``hotpath``.
+    """
     from repro.experiments import fig13, runner
+    from repro.obs.metrics import NULL_METRICS, MetricsRegistry
     from repro.sim import trace_cache
 
     trace_cache.configure(cache_enabled)
     if clear_cache:
         trace_cache.clear()
+    if metrics:
+        runner.set_default_metrics(MetricsRegistry())
     try:
         started = time.perf_counter()
         points = fig13.run(
@@ -79,6 +94,8 @@ def _timed_sweep(
         wall = time.perf_counter() - started
     finally:
         trace_cache.configure(True)
+        if metrics:
+            runner.set_default_metrics(NULL_METRICS)
     report = runner.last_report()
     return wall, len(points), report.to_dict() if report is not None else None
 
@@ -145,6 +162,7 @@ def run_sweep_benchmark(
         fidelity: str = "timing",
         base_config=None,
         clear_cache: bool = True,
+        metrics: bool = False,
     ) -> float:
         wall, n_points, runner_accounting = _timed_sweep(
             scale,
@@ -155,6 +173,7 @@ def run_sweep_benchmark(
             fidelity=fidelity,
             base_config=base_config,
             clear_cache=clear_cache,
+            metrics=metrics,
         )
         runs.append(
             {
@@ -180,6 +199,11 @@ def run_sweep_benchmark(
         # Same production configuration as timing-fidelity, but the trace
         # cache stays warm from the previous leg: pure simulator cost.
         hotpath = record("hotpath", 1, True, clear_cache=False)
+        # hotpath again with a live in-memory metrics registry: the
+        # instrumentation overhead CI caps at 5% (check_bench_ratio.py).
+        hotpath_metrics = record(
+            "hotpath-metrics", 1, True, clear_cache=False, metrics=True
+        )
         parallel = record("parallel", jobs, True, journal=journal)
         resume = record("resume", jobs, True, journal=journal)
         _timed_recovery_sweep(scale, jobs, runs)
@@ -195,6 +219,11 @@ def run_sweep_benchmark(
             # warm/enabled on both sides. CI enforces >= 2.0
             # (tools/check_bench_ratio.py).
             "hotpath_vs_serial": round(serial / hotpath, 3) if hotpath else 0.0,
+            # Instrumented sweep vs the bare hot path (>1 = overhead).
+            # CI enforces <= 1.05 (tools/check_bench_ratio.py CEILINGS).
+            "metrics_overhead": (
+                round(hotpath_metrics / hotpath, 3) if hotpath else 0.0
+            ),
             # Timing-only fidelity vs the full functional byte path on
             # the same production simulator.
             "timing_vs_full": (
@@ -242,6 +271,7 @@ def format_summary(payload: Dict[str, object]) -> str:
     lines.append(
         f"{'speedup':>16}: trace-cache {speedup['trace_cache']}x, "
         f"hotpath {speedup['hotpath_vs_serial']}x, "
+        f"metrics-overhead {speedup.get('metrics_overhead', 0.0)}x, "
         f"timing-vs-full {speedup['timing_vs_full']}x, "
         f"parallel {speedup['parallel_vs_serial']}x, "
         f"resume {speedup['resume_vs_parallel']}x, "

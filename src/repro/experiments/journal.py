@@ -116,6 +116,12 @@ class SweepJournal:
         #: Failure records loaded from disk (digest -> record), kept for
         #: post-mortem inspection; failures are never "resumed".
         self.failures: Dict[str, Dict[str, object]] = {}
+        #: Undecodable lines dropped during load — 0 or 1 after a clean
+        #: kill (the torn tail), more only if the file was corrupted.
+        #: The runner surfaces this as ``repro_journal_torn_tails_total``.
+        self.torn_tails = 0
+        #: Records appended by this process (points + failures).
+        self.records_written = 0
         self._salt = digest_salt()
         self._load()
 
@@ -133,6 +139,7 @@ class SweepJournal:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     # A SIGKILL mid-append leaves a torn tail; drop it.
+                    self.torn_tails += 1
                     continue
                 if isinstance(record, dict):
                     yield lineno, record
@@ -170,6 +177,7 @@ class SweepJournal:
             fh.write("\n")
             fh.flush()
             os.fsync(fh.fileno())
+        self.records_written += 1
 
     def record(self, digest: str, label: str, result: SimResult) -> None:
         """Journal one completed point (idempotent per digest)."""

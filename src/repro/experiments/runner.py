@@ -92,7 +92,136 @@ from repro.obs.events import (
     TraceEvent,
 )
 from repro.obs.histogram import Histogram
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.metrics import SimResult
+
+
+#: The metric-name vocabulary the sweep runner publishes when a
+#: :class:`~repro.obs.metrics.MetricsRegistry` is installed. Docs-drift
+#: guarded: ``tests/test_docs_drift.py`` asserts every name appears in
+#: ``docs/OBSERVABILITY.md`` — add here, document there.
+METRIC_NAMES = (
+    "repro_sweep_points",
+    "repro_sweep_done",
+    "repro_sweep_points_total",
+    "repro_sweep_attempts_total",
+    "repro_sweep_retries_total",
+    "repro_sweep_timeouts_total",
+    "repro_sweep_workers_total",
+    "repro_sweep_in_flight",
+    "repro_sweep_queue_depth",
+    "repro_sweep_points_per_second",
+    "repro_sweep_eta_seconds",
+    "repro_sweep_point_wall_seconds",
+    "repro_journal_records_total",
+    "repro_journal_resume_hits_total",
+    "repro_journal_resume_misses_total",
+    "repro_journal_torn_tails_total",
+)
+
+#: 1-2-5 seconds ladder (1 ms .. 500 s) for per-point wall times.
+_WALL_BOUNDS = tuple(
+    mag * mult for mag in (0.001, 0.01, 0.1, 1.0, 10.0, 100.0) for mult in (1, 2, 5)
+)
+
+
+class SweepMetrics:
+    """Typed handles on every sweep-runner metric family.
+
+    Constructed per :func:`run_points_report` call against whatever
+    registry is in force (the zero-overhead :data:`NULL_METRICS` by
+    default — declaring against it hands back shared no-op families, so
+    an uninstrumented sweep allocates nothing per point). Instrumentation
+    sites guard non-trivial argument construction with
+    ``if metrics.enabled:``, mirroring the tracer idiom.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.enabled = registry.enabled
+        self.points = registry.gauge(
+            "repro_sweep_points", "Points in the current sweep grid.", merge="max"
+        )
+        self.done = registry.gauge(
+            "repro_sweep_done",
+            "Points completed so far (resumed + executed).",
+            merge="max",
+        )
+        self.points_total = registry.counter(
+            "repro_sweep_points_total",
+            "Points finished, by final status.",
+            labels=("status",),  # ok / failed / resumed
+        )
+        self.attempts = registry.counter(
+            "repro_sweep_attempts_total",
+            "Point execution attempts, by outcome.",
+            labels=("outcome",),  # ok / error / timeout / worker_died / corrupt
+        )
+        self.retries = registry.counter(
+            "repro_sweep_retries_total", "Failed attempts that were retried."
+        )
+        self.timeouts = registry.counter(
+            "repro_sweep_timeouts_total",
+            "Attempts killed by the per-point wall-clock timeout.",
+        )
+        self.workers = registry.counter(
+            "repro_sweep_workers_total",
+            "Worker-pool lifecycle events.",
+            labels=("event",),  # spawn / respawn / kill
+        )
+        self.in_flight = registry.gauge(
+            "repro_sweep_in_flight",
+            "Points executing in workers right now.",
+            merge="sum",
+        )
+        self.queue_depth = registry.gauge(
+            "repro_sweep_queue_depth",
+            "Points ready to run or waiting out retry backoff.",
+            merge="sum",
+        )
+        self.throughput = registry.gauge(
+            "repro_sweep_points_per_second",
+            "Executed points per wall-clock second.",
+            merge="sum",
+        )
+        self.eta = registry.gauge(
+            "repro_sweep_eta_seconds",
+            "Estimated seconds until the sweep completes.",
+            merge="max",
+        )
+        self.point_wall = registry.histogram(
+            "repro_sweep_point_wall_seconds",
+            "Per-point wall time in seconds.",
+            bounds=_WALL_BOUNDS,
+        )
+        self.journal_records = registry.counter(
+            "repro_journal_records_total",
+            "Records appended to the sweep journal.",
+        )
+        self.resume_hits = registry.counter(
+            "repro_journal_resume_hits_total",
+            "Points satisfied from the resume journal without re-execution.",
+        )
+        self.resume_misses = registry.counter(
+            "repro_journal_resume_misses_total",
+            "Points looked up in the resume journal but not found.",
+        )
+        self.torn_tails = registry.counter(
+            "repro_journal_torn_tails_total",
+            "Undecodable journal lines dropped at load (torn-tail recoveries).",
+        )
+
+    def event(self, kind: str, **fields: object) -> None:
+        self.registry.event(kind, **fields)
+
+    def attempt_outcome(self, exc_type: str) -> None:
+        """Classify one failed attempt into the ``outcome`` label set."""
+        outcome = {
+            "PointTimeout": "timeout",
+            "WorkerDied": "worker_died",
+            "CorruptResult": "corrupt",
+        }.get(exc_type, "error")
+        self.attempts.labels(outcome).inc()
 
 
 @dataclass(frozen=True)
@@ -226,6 +355,9 @@ class RunnerReport:
     failures: List[PointFailure] = field(default_factory=list)
     #: Journal file completed points were appended to, if any.
     journal_path: Optional[str] = None
+    #: Final :meth:`MetricsRegistry.snapshot` of the sweep, when a real
+    #: registry was installed (``None`` under :data:`NULL_METRICS`).
+    metrics: Optional[Dict[str, object]] = None
 
     def failure_events(self) -> List[TraceEvent]:
         """The report's fault accounting as ``CAT_RUNNER`` trace events.
@@ -276,7 +408,14 @@ class RunnerReport:
         return events
 
     def to_dict(self) -> Dict[str, object]:
-        """Machine-readable accounting (surfaced by ``bench-sweep``/CI)."""
+        """Machine-readable accounting (surfaced by ``bench-sweep``/CI).
+
+        Symmetric with the report's full surface: the ``failure_events``
+        trace-event view and the final metrics snapshot ride along, so a
+        serialized report loses nothing a consumer could have read off
+        the live object (round-trip asserted in
+        ``tests/experiments/test_runner_metrics.py``).
+        """
         return {
             "label": self.label,
             "jobs": self.jobs,
@@ -287,8 +426,23 @@ class RunnerReport:
             "resumed": self.resumed,
             "serial_fallbacks": self.serial_fallbacks,
             "failures": [f.to_dict() for f in self.failures],
+            "failure_events": [_event_to_dict(e) for e in self.failure_events()],
             "journal": self.journal_path,
+            "metrics": self.metrics,
         }
+
+
+def _event_to_dict(event: TraceEvent) -> Dict[str, object]:
+    """JSON form of one :class:`TraceEvent` (for report serialization)."""
+    return {
+        "cat": event.cat,
+        "name": event.name,
+        "track": event.track,
+        "ts": event.ts,
+        "ph": event.ph,
+        "dur": event.dur,
+        "args": event.args,
+    }
 
 
 #: Called after each completed point with (done, total).
@@ -300,10 +454,31 @@ _CORRUPT_SENTINEL = "<corrupt-result>"
 
 _default_policy = RunnerPolicy()
 
+#: The registry used when ``run_points`` gets ``metrics=None`` — the
+#: zero-overhead null registry unless the CLI installed a real one
+#: (``--live``), mirroring the default-policy pattern.
+_default_metrics: MetricsRegistry = NULL_METRICS  # type: ignore[assignment]
+
 #: The report of the most recent run_points_report call in this process.
 #: ``bench-sweep`` reads it after driving an experiment whose public API
 #: returns only points (fig13.run and friends).
 _last_report: Optional[RunnerReport] = None
+
+
+def set_default_metrics(registry: MetricsRegistry) -> None:
+    """Install the registry used when ``run_points`` gets ``metrics=None``.
+
+    The CLI maps ``--live`` here so every experiment module publishes
+    fleet metrics without signature churn (pass :data:`NULL_METRICS` to
+    uninstall). Same pattern as :func:`set_default_policy`.
+    """
+    global _default_metrics
+    _default_metrics = registry
+
+
+def default_metrics() -> MetricsRegistry:
+    """The currently installed default metrics registry."""
+    return _default_metrics
 
 
 def set_default_policy(policy: RunnerPolicy) -> None:
@@ -383,6 +558,43 @@ def _log_progress(label: str, done: int, total: int, jobs: int) -> None:
     )
 
 
+class _ProgressReporter:
+    """The default throttled stderr reporter (~10% granularity).
+
+    One reporter serves the whole sweep, so journal-resume replays and
+    fresh completions share a single throttle: the replay prints exactly
+    one line (however many points it covered), fresh completions then
+    continue the stepped cadence from that count, and the final point
+    always prints — no duplicate and no skipped lines, where the old
+    ad-hoc ``done % step`` lambda fired the throttle with an arbitrary
+    aggregate count after a resume.
+    """
+
+    def __init__(self, label: str, total: int, jobs: int):
+        self.label = label
+        self.total = total
+        self.jobs = jobs
+        self.step = max(1, total // 10)
+        self._last_printed = 0
+
+    def replay(self, done: int, resumed: int) -> None:
+        """One line for an entire journal-resume replay."""
+        print(
+            f"[runner] {self.label}: resumed {resumed} journaled points "
+            f"({done}/{self.total})",
+            file=sys.stderr,
+        )
+        self._last_printed = done
+
+    def update(self, done: int, total: Optional[int] = None) -> None:
+        """ProgressFn-compatible throttled update."""
+        if done == self._last_printed:
+            return
+        if done >= self.total or done - self._last_printed >= self.step:
+            self._last_printed = done
+            _log_progress(self.label, done, self.total, self.jobs)
+
+
 def _traceback_tail(limit: int = 6) -> str:
     """The last ``limit`` lines of the current exception's traceback."""
     lines = traceback.format_exc().strip().splitlines()
@@ -397,6 +609,7 @@ def run_points(
     policy: Optional[RunnerPolicy] = None,
     journal: Optional[Union[str, SweepJournal]] = None,
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[SimResult]:
     """Run every spec; returns results in spec order (deterministic).
 
@@ -417,6 +630,7 @@ def run_points(
         policy=policy,
         journal=journal,
         faults=faults,
+        metrics=metrics,
     )
     if report.failures:
         raise SweepError(report.failures)
@@ -431,6 +645,7 @@ def run_points_report(
     policy: Optional[RunnerPolicy] = None,
     journal: Optional[Union[str, SweepJournal]] = None,
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[List[Optional[SimResult]], RunnerReport]:
     """Like :func:`run_points` but never raises on point failures.
 
@@ -440,6 +655,10 @@ def run_points_report(
     enables resume: journaled points are returned without re-execution
     and fresh completions are appended. ``faults`` defaults to the
     ``REPRO_FAULT`` environment plan (see :mod:`repro.experiments.faults`).
+    ``metrics`` (default: the registry installed via
+    :func:`set_default_metrics`, normally :data:`NULL_METRICS`) receives
+    the fleet-health instrumentation catalogued in :data:`METRIC_NAMES`;
+    with a real registry the final snapshot lands on ``report.metrics``.
     """
     global _last_report
     if jobs < 1:
@@ -449,6 +668,7 @@ def run_points_report(
         faults = FaultPlan.from_env()
     if isinstance(journal, str):
         journal = SweepJournal(journal)
+    sm = SweepMetrics(metrics if metrics is not None else _default_metrics)
 
     specs = list(specs)
     total = len(specs)
@@ -458,19 +678,24 @@ def run_points_report(
         n_points=total,
         journal_path=journal.path if journal is not None else None,
     )
+    reporter: Optional[_ProgressReporter] = None
     if progress is None and total > 1:
-        # Log at ~10% granularity so big sweeps stay readable.
-        step = max(1, total // 10)
-        progress = lambda done, n: (
-            _log_progress(label, done, n, jobs) if done % step == 0 or done == n else None
-        )
+        # Log at ~10% granularity so big sweeps stay readable; one
+        # reporter per sweep so resume replays share the throttle.
+        reporter = _ProgressReporter(label, total, jobs)
+        progress = reporter.update
 
     started = time.perf_counter()
     results: List[Optional[SimResult]] = [None] * total
     digests = [spec_digest(spec) for spec in specs]
+    if sm.enabled:
+        sm.points.set(total)
+        if journal is not None and journal.torn_tails:
+            sm.torn_tails.inc(journal.torn_tails)
 
     # Resume: satisfy journaled points without re-execution.
     done_count = 0
+    executed = 0
     remaining: List[int] = []
     for index, digest in enumerate(digests):
         cached = journal.get(digest) if journal is not None else None
@@ -478,32 +703,68 @@ def run_points_report(
             results[index] = cached
             report.resumed += 1
             done_count += 1
+            if sm.enabled:
+                sm.resume_hits.inc()
+                sm.points_total.labels("resumed").inc()
+        elif journal is not None and sm.enabled:
+            remaining.append(index)
+            sm.resume_misses.inc()
         else:
             remaining.append(index)
-    if report.resumed and progress is not None:
-        progress(done_count, total)
+    if report.resumed:
+        if sm.enabled:
+            sm.done.set(done_count)
+            sm.event(
+                "resumed", label=label, points=report.resumed, done=done_count
+            )
+        if reporter is not None:
+            reporter.replay(done_count, report.resumed)
+        elif progress is not None:
+            progress(done_count, total)
 
     def on_done(index: int, result: SimResult) -> None:
-        nonlocal done_count
+        nonlocal done_count, executed
         results[index] = result
         if journal is not None:
             journal.record(digests[index], specs[index].label(), result)
+            if sm.enabled:
+                sm.journal_records.inc()
         done_count += 1
+        executed += 1
+        if sm.enabled:
+            sm.done.set(done_count)
+            sm.points_total.labels("ok").inc()
+            elapsed = time.perf_counter() - started
+            if elapsed > 0:
+                rate = executed / elapsed
+                sm.throughput.set(rate)
+                sm.eta.set((total - done_count) / rate if rate > 0 else 0.0)
         if progress is not None:
             progress(done_count, total)
 
     if remaining:
         if jobs == 1 or len(remaining) <= 1:
-            _run_serial(specs, remaining, digests, report, policy, faults, on_done)
+            _run_serial(
+                specs, remaining, digests, report, policy, faults, on_done, sm
+            )
         else:
             _run_parallel(
-                specs, remaining, digests, jobs, report, policy, faults, on_done
+                specs, remaining, digests, jobs, report, policy, faults, on_done, sm
             )
 
     for failure in report.failures:
         if journal is not None:
             journal.record_failure(
                 failure.digest, failure.label, failure.to_dict()
+            )
+        if sm.enabled:
+            sm.points_total.labels("failed").inc()
+            sm.event(
+                "point_failure",
+                index=failure.index,
+                label=failure.label,
+                exc_type=failure.exc_type,
+                attempts=failure.attempts,
             )
         print(
             f"[runner] {label}: point #{failure.index} ({failure.label}) "
@@ -512,6 +773,9 @@ def run_points_report(
         )
 
     report.wall_s = time.perf_counter() - started
+    if sm.enabled:
+        sm.eta.set(0.0)
+        report.metrics = sm.registry.snapshot()
     _last_report = report
     return results, report
 
@@ -551,6 +815,7 @@ def _run_serial(
     policy: RunnerPolicy,
     faults: Optional[FaultPlan],
     on_done: Callable[[int, SimResult], None],
+    sm: SweepMetrics,
 ) -> None:
     from repro.sim import trace_cache
 
@@ -570,11 +835,25 @@ def _run_serial(
                 raise
             except Exception:
                 last_exc = (sys.exc_info()[0].__name__, _traceback_tail())
+                sm.attempt_outcome(last_exc[0])
                 if attempt < policy.max_attempts:
                     report.retries += 1
+                    sm.retries.inc()
                     time.sleep(policy.backoff_s * (2 ** (attempt - 1)))
                 continue
-            report.point_wall_s.record(time.perf_counter() - t0)
+            wall = time.perf_counter() - t0
+            report.point_wall_s.record(wall)
+            if sm.enabled:
+                sm.attempts.labels("ok").inc()
+                sm.point_wall.observe(wall)
+                sm.event(
+                    "point",
+                    index=index,
+                    label=spec.label(),
+                    wall_s=wall,
+                    worker=-1,
+                    attempts=attempt,
+                )
             on_done(index, result)
             break
         else:
@@ -650,6 +929,8 @@ class _Worker:
         #: (index, attempt) of the in-flight point, None when idle.
         self.running: Optional[Tuple[int, int]] = None
         self.deadline: Optional[float] = None
+        #: ``time.monotonic()`` at submit, for per-point wall accounting.
+        self.started: Optional[float] = None
 
     def submit(
         self,
@@ -660,8 +941,9 @@ class _Worker:
         timeout_s: Optional[float],
     ) -> None:
         self.running = (index, attempt)
+        self.started = time.monotonic()
         self.deadline = (
-            time.monotonic() + timeout_s if timeout_s is not None else None
+            self.started + timeout_s if timeout_s is not None else None
         )
         self.conn.send((index, spec, fault))
 
@@ -695,6 +977,7 @@ def _run_parallel(
     policy: RunnerPolicy,
     faults: Optional[FaultPlan],
     on_done: Callable[[int, SimResult], None],
+    sm: SweepMetrics,
 ) -> None:
     from multiprocessing import connection as mpc
 
@@ -706,12 +989,21 @@ def _run_parallel(
     retry_heap: List[Tuple[float, int, int]] = []  # (ready_at, index, attempt)
     exhausted: Dict[int, Tuple[int, str, str]] = {}  # index -> (attempts, exc, tb)
     workers = [_Worker(ctx) for _ in range(n_workers)]
+    sm.workers.labels("spawn").inc(n_workers)
+
+    def replace_worker(worker: _Worker) -> None:
+        worker.kill()
+        workers[workers.index(worker)] = _Worker(ctx)
+        sm.workers.labels("kill").inc()
+        sm.workers.labels("respawn").inc()
 
     def record_attempt_failure(
         index: int, attempt: int, exc_type: str, tb_tail: str
     ) -> None:
+        sm.attempt_outcome(exc_type)
         if attempt < policy.max_attempts:
             report.retries += 1
+            sm.retries.inc()
             ready_at = time.monotonic() + policy.backoff_s * (2 ** (attempt - 1))
             heapq.heappush(retry_heap, (ready_at, index, attempt + 1))
         else:
@@ -719,15 +1011,16 @@ def _run_parallel(
 
     def handle_message(worker: _Worker) -> None:
         index, attempt = worker.running  # type: ignore[misc]
+        started = worker.started
         worker.running = None
         worker.deadline = None
+        worker.started = None
         try:
             message = worker.conn.recv()
         except (EOFError, OSError):
             # Worker died mid-point (hard exit, segfault, unpicklable
             # result). Replace it; charge the point one attempt.
-            worker.kill()
-            workers[workers.index(worker)] = _Worker(ctx)
+            replace_worker(worker)
             record_attempt_failure(
                 index, attempt, "WorkerDied", "worker process exited mid-point"
             )
@@ -736,6 +1029,21 @@ def _run_parallel(
         if status == "ok":
             result = message[2]
             if isinstance(result, SimResult):
+                wall = (
+                    time.monotonic() - started if started is not None else 0.0
+                )
+                report.point_wall_s.record(wall)
+                if sm.enabled:
+                    sm.attempts.labels("ok").inc()
+                    sm.point_wall.observe(wall)
+                    sm.event(
+                        "point",
+                        index=index,
+                        label=specs[index].label(),
+                        wall_s=wall,
+                        worker=workers.index(worker),
+                        attempts=attempt,
+                    )
                 on_done(index, result)
             else:
                 record_attempt_failure(
@@ -764,12 +1072,14 @@ def _run_parallel(
                     except OSError:
                         # The worker died between points; replace it and
                         # charge the submission as one failed attempt.
-                        worker.kill()
-                        workers[slot] = _Worker(ctx)
+                        replace_worker(worker)
                         record_attempt_failure(
                             index, attempt, "WorkerDied", "pipe closed on submit"
                         )
             busy = [w for w in workers if w.running is not None]
+            if sm.enabled:
+                sm.in_flight.set(len(busy))
+                sm.queue_depth.set(len(ready) + len(retry_heap))
             if not busy:
                 if retry_heap:
                     time.sleep(
@@ -802,8 +1112,8 @@ def _run_parallel(
                 ):
                     index, attempt = worker.running
                     report.timeouts += 1
-                    worker.kill()
-                    workers[workers.index(worker)] = _Worker(ctx)
+                    sm.timeouts.inc()
+                    replace_worker(worker)
                     record_attempt_failure(
                         index,
                         attempt,
@@ -816,6 +1126,9 @@ def _run_parallel(
                 worker.shutdown()
             else:
                 worker.kill()
+        if sm.enabled:
+            sm.in_flight.set(0)
+            sm.queue_depth.set(0)
 
     # Graceful degradation: one last serial in-process attempt per
     # exhausted point before recording a failure.
@@ -823,12 +1136,27 @@ def _run_parallel(
         spec = specs[index]
         if policy.serial_fallback:
             attempts += 1
+            t0 = time.perf_counter()
             try:
                 result = _attempt_in_process(spec, index, attempts, faults)
             except Exception:
                 exc_type, tb_tail = sys.exc_info()[0].__name__, _traceback_tail()
+                sm.attempt_outcome(exc_type)
             else:
                 report.serial_fallbacks += 1
+                wall = time.perf_counter() - t0
+                report.point_wall_s.record(wall)
+                if sm.enabled:
+                    sm.attempts.labels("ok").inc()
+                    sm.point_wall.observe(wall)
+                    sm.event(
+                        "point",
+                        index=index,
+                        label=spec.label(),
+                        wall_s=wall,
+                        worker=-1,
+                        attempts=attempts,
+                    )
                 on_done(index, result)
                 continue
         report.failures.append(

@@ -1,0 +1,145 @@
+"""``repro sweep-report``: post-hoc fleet health from a metrics stream.
+
+A sweep run with ``--live`` (or any :class:`~repro.obs.metrics.MetricsStream`
+attached to its registry) leaves a JSONL event file next to the journal:
+one ``point`` record per executed point (wall time, worker slot, attempt
+count), one ``point_failure`` per exhausted point, one ``resumed`` record
+per resume replay, and periodic ``snapshot``/``final`` registry dumps.
+This module folds that stream back into the operator-facing questions —
+*what failed and why, how hard did the retry machinery work, were the
+workers balanced, which points dominated the wall clock* — without
+re-running anything.
+
+The accounting here is the same the runner keeps live: the drill test
+(`tests/experiments/test_runner_metrics.py`) injects a deterministic
+``REPRO_FAULT`` plan and asserts the rendered report reproduces the
+:class:`~repro.experiments.runner.RunnerReport` failure/retry numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import load_stream, snapshot_value
+
+
+def render_sweep_report(
+    records: Sequence[Dict[str, object]],
+    top: int = 5,
+    journal_path: Optional[str] = None,
+) -> str:
+    """Markdown fleet-health report over loaded metrics-stream records."""
+    points = [r for r in records if r.get("kind") == "point"]
+    failures = [r for r in records if r.get("kind") == "point_failure"]
+    resumes = [r for r in records if r.get("kind") == "resumed"]
+    snapshots = [r for r in records if r.get("kind") in ("snapshot", "final")]
+
+    lines: List[str] = ["# Sweep fleet report", ""]
+
+    # -- header: where the sweep ended up -----------------------------
+    resumed = sum(int(r.get("points", 0)) for r in resumes)
+    executed = len(points)
+    final = snapshots[-1].get("metrics") if snapshots else None
+    if isinstance(final, dict):
+        total = int(snapshot_value(final, "repro_sweep_points"))
+        done = int(snapshot_value(final, "repro_sweep_done"))
+        retries = int(snapshot_value(final, "repro_sweep_retries_total"))
+        timeouts = int(snapshot_value(final, "repro_sweep_timeouts_total"))
+    else:
+        total = resumed + executed + len(failures)
+        done = resumed + executed
+        retries = sum(max(0, int(r.get("attempts", 1)) - 1) for r in points)
+        retries += sum(max(0, int(r.get("attempts", 1)) - 1) for r in failures)
+        timeouts = 0
+    lines.append(
+        f"- points: {done}/{total} done "
+        f"({executed} executed, {resumed} resumed, {len(failures)} failed)"
+    )
+    lines.append(f"- retries: {retries}, timeouts: {timeouts}")
+    walls = [float(r.get("wall_s", 0.0)) for r in points]
+    if walls:
+        lines.append(
+            f"- point wall: total {sum(walls):.2f}s, "
+            f"mean {sum(walls) / len(walls):.3f}s, max {max(walls):.3f}s"
+        )
+    if journal_path is not None:
+        from repro.experiments.journal import SweepJournal
+
+        journal = SweepJournal(journal_path)
+        lines.append(
+            f"- journal {journal_path}: {len(journal)} results, "
+            f"{len(journal.failures)} failure records, "
+            f"{journal.torn_tails} torn tails dropped"
+        )
+
+    # -- failure breakdown by exception type --------------------------
+    lines += ["", "## Failures by exception type", ""]
+    if failures:
+        by_exc = Counter(str(r.get("exc_type", "?")) for r in failures)
+        for exc_type, count in by_exc.most_common():
+            examples = [
+                str(r.get("label", "?"))
+                for r in failures
+                if str(r.get("exc_type", "?")) == exc_type
+            ]
+            shown = ", ".join(examples[:3]) + (", ..." if len(examples) > 3 else "")
+            lines.append(f"- {exc_type}: {count} ({shown})")
+    else:
+        lines.append("- none")
+
+    # -- retry histogram: attempts needed per finished point -----------
+    lines += ["", "## Attempts per point", ""]
+    attempts = Counter(int(r.get("attempts", 1)) for r in points)
+    attempts.update(int(r.get("attempts", 1)) for r in failures)
+    if attempts:
+        width = max(attempts.values())
+        for n in sorted(attempts):
+            count = attempts[n]
+            bar = "#" * max(1, round(40 * count / width))
+            lines.append(f"- {n} attempt(s): {count:4d} {bar}")
+    else:
+        lines.append("- no executed points recorded")
+
+    # -- per-worker utilization ----------------------------------------
+    lines += ["", "## Worker utilization", ""]
+    busy: Dict[int, float] = defaultdict(float)
+    count_by_worker: Dict[int, int] = defaultdict(int)
+    for r in points:
+        worker = int(r.get("worker", -1))
+        busy[worker] += float(r.get("wall_s", 0.0))
+        count_by_worker[worker] += 1
+    if busy:
+        grand = sum(busy.values()) or 1.0
+        for worker in sorted(busy):
+            name = "in-process" if worker < 0 else f"worker {worker}"
+            share = 100.0 * busy[worker] / grand
+            lines.append(
+                f"- {name}: {count_by_worker[worker]} points, "
+                f"{busy[worker]:.2f}s busy ({share:.1f}% of fleet busy time)"
+            )
+    else:
+        lines.append("- no executed points recorded")
+
+    # -- slowest points -------------------------------------------------
+    lines += ["", f"## Slowest {top} points", ""]
+    slowest = sorted(points, key=lambda r: float(r.get("wall_s", 0.0)), reverse=True)
+    if slowest:
+        for r in slowest[:top]:
+            lines.append(
+                f"- {r.get('label', '?')}: {float(r.get('wall_s', 0.0)):.3f}s "
+                f"(worker {r.get('worker', '?')}, {r.get('attempts', 1)} attempt(s))"
+            )
+    else:
+        lines.append("- no executed points recorded")
+
+    return "\n".join(lines) + "\n"
+
+
+def render_sweep_report_file(
+    metrics_path: str, top: int = 5, journal_path: Optional[str] = None
+) -> str:
+    """Load a metrics JSONL stream from disk and render the report."""
+    return render_sweep_report(
+        load_stream(metrics_path), top=top, journal_path=journal_path
+    )

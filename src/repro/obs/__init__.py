@@ -22,6 +22,14 @@ dynamics without perturbing them:
   ``chrome://tracing``) and compact JSONL.
 * :mod:`~repro.obs.report` — the ``repro trace-report`` analysis: time-
   bucketed stall/occupancy/coalesce/bank-imbalance breakdown of a trace.
+* :mod:`~repro.obs.metrics` — the *fleet* layer: a typed
+  Counter/Gauge/Histogram registry with label sets, snapshot + merge,
+  Prometheus text exposition, and a zero-overhead
+  :data:`~repro.obs.metrics.NULL_METRICS` default mirroring
+  ``NULL_TRACER``. The sweep runner is its first client.
+* :mod:`~repro.obs.live` / :mod:`~repro.obs.promserve` — the ``--live``
+  periodic status reporter (JSONL snapshot stream + ``.prom`` file) and
+  the ``repro serve-metrics`` HTTP endpoint over that file.
 
 Nothing in the timing model reads tracer state; tracing can never change
 a result.
@@ -37,7 +45,14 @@ from repro.obs.events import (
     CAT_WQ,
     TraceEvent,
 )
-from repro.obs.histogram import Histogram
+from repro.obs.histogram import Histogram, nearest_rank
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    MetricsStream,
+    NullMetrics,
+    prometheus_text,
+)
 from repro.obs.sampler import TimeSeriesSampler
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -50,9 +65,15 @@ __all__ = [
     "CAT_TXN",
     "CAT_WQ",
     "Histogram",
+    "MetricsRegistry",
+    "MetricsStream",
+    "NULL_METRICS",
     "NULL_TRACER",
+    "NullMetrics",
     "NullTracer",
     "TimeSeriesSampler",
     "TraceEvent",
     "Tracer",
+    "nearest_rank",
+    "prometheus_text",
 ]

@@ -9,7 +9,22 @@ retained; the buckets *are* the export format.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence
+
+
+def nearest_rank(p: float, n: int) -> int:
+    """The 1-based nearest-rank index of the p-th percentile of ``n``.
+
+    ``max(1, ceil(p/100 * n))`` — the *single* definition shared by
+    :meth:`Histogram.percentile` and
+    :meth:`repro.sim.metrics.SimResult.txn_latency_percentile`, so a
+    percentile read from a bucketed histogram and one computed from the
+    raw sample can never disagree about which observation they mean.
+    """
+    if not 0 < p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    return max(1, math.ceil(p / 100.0 * n))
 
 
 def _default_bounds() -> List[float]:
@@ -68,9 +83,7 @@ class Histogram:
         """
         if self.n == 0:
             return 0.0
-        if not 0 < p <= 100:
-            raise ValueError(f"percentile out of range: {p}")
-        rank = max(1, -(-int(p * self.n) // 100))  # ceil(p/100 * n), >= 1
+        rank = nearest_rank(p, self.n)
         seen = 0
         for index, count in enumerate(self.counts):
             seen += count
@@ -80,11 +93,36 @@ class Histogram:
                 return min(self.bounds[index], self.max)
         return self.max  # pragma: no cover - counts always sum to n
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's observations into this one.
+
+        Both histograms must share the same bucket ladder — merging is
+        bucket-wise count addition, the operation that combines
+        per-worker latency histograms into one fleet distribution
+        (:mod:`repro.obs.metrics`). Returns ``self`` for chaining.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bounds: "
+                f"{len(self.bounds)} vs {len(other.bounds)} buckets"
+            )
+        if other.n:
+            if self.n == 0 or other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+            self.n += other.n
+            self.total += other.total
+            for index, count in enumerate(other.counts):
+                self.counts[index] += count
+        return self
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly form (used by the trace exporters)."""
         return {
             "n": self.n,
             "mean": self.mean,
+            "total": self.total,
             "min": self.min,
             "max": self.max,
             "p50": self.percentile(50),

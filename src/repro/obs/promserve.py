@@ -1,0 +1,91 @@
+"""``repro serve-metrics``: a stdlib Prometheus text-format endpoint.
+
+The first brick of the long-lived sweep-service roadmap item: a sweep
+running with ``--live`` atomically rewrites a ``.prom`` snapshot file
+(:func:`repro.obs.metrics.write_prometheus_file`), and this module serves
+that file over HTTP so a Prometheus scraper — or a plain ``curl`` — can
+watch the fleet from outside the process:
+
+    python -m repro run fig13 --jobs 8 --resume sweep.jsonl --live &
+    python -m repro serve-metrics sweep.jsonl.prom --port 9464
+    curl -s localhost:9464/metrics
+
+Serving from the snapshot file (re-read per request) rather than from an
+in-process registry keeps the server fully decoupled from the sweep: the
+two are separate processes, either can restart, and one server can
+outlive many sweeps. Pure ``http.server`` — no dependencies.
+
+Endpoints: ``/metrics`` (exposition text, 503 until the snapshot file
+first appears), ``/healthz`` (liveness), anything else 404.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import PROM_CONTENT_TYPE
+
+
+def build_server(
+    prom_path: str, host: str = "127.0.0.1", port: int = 9464, quiet: bool = True
+) -> ThreadingHTTPServer:
+    """An HTTP server serving ``prom_path`` at ``/metrics`` (not started).
+
+    ``port=0`` binds an ephemeral port (the chosen one is on
+    ``server.server_address``) — what the tests use.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        def _respond(self, code: int, body: bytes, content_type: str) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path in ("/", "/metrics"):
+                if not os.path.exists(prom_path):
+                    self._respond(
+                        503,
+                        b"# metrics snapshot not written yet\n",
+                        PROM_CONTENT_TYPE,
+                    )
+                    return
+                with open(prom_path, "rb") as fh:
+                    body = fh.read()
+                self._respond(200, body, PROM_CONTENT_TYPE)
+            elif self.path == "/healthz":
+                self._respond(200, b"ok\n", "text/plain; charset=utf-8")
+            else:
+                self._respond(404, b"not found\n", "text/plain; charset=utf-8")
+
+        def log_message(self, format: str, *args) -> None:
+            if not quiet:
+                sys.stderr.write(
+                    "[serve-metrics] %s - %s\n" % (self.address_string(), format % args)
+                )
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+def serve_metrics(
+    prom_path: str, host: str = "127.0.0.1", port: int = 9464
+) -> int:
+    """Blocking entry point behind ``python -m repro serve-metrics``."""
+    httpd = build_server(prom_path, host=host, port=port, quiet=False)
+    bound_host, bound_port = httpd.server_address[:2]
+    print(
+        f"[serve-metrics] serving {prom_path} on http://{bound_host}:{bound_port}/metrics "
+        "(Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("[serve-metrics] stopped", file=sys.stderr)
+    finally:
+        httpd.server_close()
+    return 0

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.common.stats import Stats
+from repro.obs.histogram import nearest_rank
 
 
 @dataclass
@@ -37,15 +37,15 @@ class SimResult:
         """Nearest-rank percentile of the transaction latencies.
 
         The p-th percentile is the smallest recorded latency with at least
-        ``p`` percent of the sample at or below it (rank ``ceil(p/100*n)``);
-        0.0 when no transactions were measured.
+        ``p`` percent of the sample at or below it (rank ``ceil(p/100*n)``,
+        the shared :func:`repro.obs.histogram.nearest_rank` definition the
+        bucketed histograms also use); 0.0 when no transactions were
+        measured.
         """
         if not self.txn_latencies:
             return 0.0
-        if not 0 < p <= 100:
-            raise ValueError(f"percentile out of range: {p}")
         ordered = sorted(self.txn_latencies)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        rank = nearest_rank(p, len(ordered))
         return ordered[rank - 1]
 
     @property

@@ -1,0 +1,272 @@
+"""Fleet-metrics instrumentation of the sweep runner.
+
+The contracts: a real registry's accounting must agree exactly with the
+``RunnerReport`` the runner already keeps (same events, two ledgers); a
+deterministic ``REPRO_FAULT``-style drill must be reproducible post-hoc
+from the metrics stream by ``sweep-report``; results must be
+bit-identical with and without a registry installed; and the report's
+``to_dict`` must round-trip failure events and the metrics snapshot
+through JSON.
+"""
+
+import json
+
+from repro.core.schemes import Scheme
+from repro.experiments.common import experiment_base_config, get_scale
+from repro.experiments.faults import FAULT_CRASH, FaultPlan, PointFault
+from repro.experiments.journal import SweepJournal
+from repro.experiments.runner import (
+    METRIC_NAMES,
+    PointSpec,
+    RunnerPolicy,
+    default_metrics,
+    run_points_report,
+    set_default_metrics,
+)
+from repro.obs.live import LiveReporter, format_status_line
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    MetricsStream,
+    load_stream,
+    snapshot_value,
+)
+
+
+def _specs(n=4, n_ops=5):
+    base = experiment_base_config(get_scale("smoke"))
+    return [
+        PointSpec(
+            workload=workload,
+            scheme=scheme,
+            n_ops=n_ops,
+            request_size=256,
+            footprint=1 << 20,
+            base_config=base,
+            seed=1,
+        )
+        for workload in ("array", "queue")
+        for scheme in (Scheme.UNSEC, Scheme.SUPERMEM)
+    ][:n]
+
+
+FAST = RunnerPolicy(max_attempts=3, backoff_s=0.0)
+
+
+def _assert_identical(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left.total_time_ns == right.total_time_ns
+        assert left.txn_latencies == right.txn_latencies
+
+
+class TestSerialAccounting:
+    def test_metrics_match_report(self):
+        registry = MetricsRegistry()
+        specs = _specs()
+        results, report = run_points_report(specs, metrics=registry)
+        assert all(r is not None for r in results)
+        snapshot = report.metrics
+        assert snapshot is not None
+        assert snapshot_value(snapshot, "repro_sweep_points") == len(specs)
+        assert snapshot_value(snapshot, "repro_sweep_done") == len(specs)
+        assert snapshot_value(snapshot, "repro_sweep_points_total", ("ok",)) == len(
+            specs
+        )
+        assert snapshot_value(
+            snapshot, "repro_sweep_attempts_total", ("ok",)
+        ) == len(specs)
+        assert snapshot_value(snapshot, "repro_sweep_retries_total") == 0
+        hist = snapshot["families"]["repro_sweep_point_wall_seconds"]
+        assert hist["series"][0]["hist"]["n"] == report.point_wall_s.n == len(specs)
+
+    def test_null_default_leaves_report_metrics_none(self):
+        _, report = run_points_report(_specs(2))
+        assert report.metrics is None
+
+    def test_results_identical_with_and_without_registry(self):
+        specs = _specs()
+        bare, _ = run_points_report(specs)
+        instrumented, _ = run_points_report(specs, metrics=MetricsRegistry())
+        _assert_identical(bare, instrumented)
+
+    def test_declared_families_equal_the_documented_vocabulary(self):
+        registry = MetricsRegistry()
+        run_points_report(_specs(2), metrics=registry)
+        assert set(registry.families) == set(METRIC_NAMES)
+
+
+class TestParallelAccounting:
+    def test_crash_drill_counters_match_report(self, tmp_path):
+        """The deterministic fault drill, fully accounted in metrics."""
+        stream = MetricsStream(str(tmp_path / "m.jsonl"))
+        registry = MetricsRegistry(stream=stream)
+        specs = _specs()
+        faults = FaultPlan({1: PointFault(FAULT_CRASH)})
+        results, report = run_points_report(
+            specs, jobs=2, policy=FAST, faults=faults, metrics=registry
+        )
+        assert all(r is not None for r in results)
+        assert report.retries == 1
+        snapshot = report.metrics
+        assert snapshot_value(snapshot, "repro_sweep_retries_total") == 1
+        assert snapshot_value(
+            snapshot, "repro_sweep_attempts_total", ("worker_died",)
+        ) == 1
+        assert snapshot_value(
+            snapshot, "repro_sweep_attempts_total", ("ok",)
+        ) == len(specs)
+        assert snapshot_value(
+            snapshot, "repro_sweep_workers_total", ("spawn",)
+        ) == 2
+        assert snapshot_value(
+            snapshot, "repro_sweep_workers_total", ("kill",)
+        ) == 1
+        assert snapshot_value(
+            snapshot, "repro_sweep_workers_total", ("respawn",)
+        ) == 1
+        # Gauges are zeroed once the pool drains.
+        assert snapshot_value(snapshot, "repro_sweep_in_flight") == 0
+        assert snapshot_value(snapshot, "repro_sweep_queue_depth") == 0
+        # Parallel point walls are recorded at the parent.
+        assert report.point_wall_s.n == len(specs)
+
+    def test_sweep_report_reproduces_the_drill(self, tmp_path):
+        """sweep-report over the stream reproduces the failure/retry
+        accounting of the drill — the CI acceptance path."""
+        from repro.experiments.sweep_report import render_sweep_report_file
+
+        stream_path = str(tmp_path / "m.jsonl")
+        registry = MetricsRegistry(stream=MetricsStream(stream_path))
+        specs = _specs()
+        faults = FaultPlan({1: PointFault(FAULT_CRASH, times=99)})
+        policy = RunnerPolicy(
+            max_attempts=2, backoff_s=0.0, serial_fallback=False
+        )
+        _, report = run_points_report(
+            specs, jobs=2, policy=policy, faults=faults, metrics=registry
+        )
+        assert len(report.failures) == 1
+        text = render_sweep_report_file(stream_path)
+        assert f"{len(specs) - 1} executed" in text
+        assert "1 failed" in text
+        assert "WorkerDied: 1" in text
+        assert "2 attempt(s):" in text  # the retried point
+        assert f"retries: {report.retries}" in text
+
+    def test_resume_hits_and_misses(self, tmp_path):
+        journal_path = str(tmp_path / "j.jsonl")
+        specs = _specs()
+        first, _ = run_points_report(specs, journal=journal_path)
+        registry = MetricsRegistry()
+        resumed, report = run_points_report(
+            specs, journal=SweepJournal(journal_path), metrics=registry
+        )
+        _assert_identical(first, resumed)
+        snapshot = report.metrics
+        assert report.resumed == len(specs)
+        assert snapshot_value(
+            snapshot, "repro_journal_resume_hits_total"
+        ) == len(specs)
+        assert snapshot_value(snapshot, "repro_journal_resume_misses_total") == 0
+        assert snapshot_value(
+            snapshot, "repro_sweep_points_total", ("resumed",)
+        ) == len(specs)
+        assert snapshot_value(snapshot, "repro_sweep_done") == len(specs)
+
+
+class TestReportRoundTrip:
+    def test_to_dict_round_trips_failures_and_metrics(self):
+        specs = _specs(2)
+        faults = FaultPlan({0: PointFault(FAULT_CRASH, times=99)})
+        policy = RunnerPolicy(
+            max_attempts=2, backoff_s=0.0, serial_fallback=False
+        )
+        _, report = run_points_report(
+            specs, policy=policy, faults=faults, metrics=MetricsRegistry()
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert len(payload["failures"]) == 1
+        names = [e["name"] for e in payload["failure_events"]]
+        assert names.count("point_retry") == report.retries == 1
+        assert names.count("point_failure") == 1
+        event = next(
+            e for e in payload["failure_events"] if e["name"] == "point_failure"
+        )
+        assert event["cat"] == "runner"
+        assert event["args"]["exc_type"] == "InjectedFault"
+        assert snapshot_value(
+            payload["metrics"], "repro_sweep_points_total", ("failed",)
+        ) == 1
+
+    def test_to_dict_without_metrics_keeps_none(self):
+        _, report = run_points_report(_specs(2))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["metrics"] is None
+        assert payload["failure_events"] == []
+
+
+class TestDefaultRegistryInstaller:
+    def test_install_and_restore(self):
+        assert default_metrics() is NULL_METRICS
+        registry = MetricsRegistry()
+        set_default_metrics(registry)
+        try:
+            assert default_metrics() is registry
+            _, report = run_points_report(_specs(2))
+            assert report.metrics is not None
+        finally:
+            set_default_metrics(NULL_METRICS)
+        assert default_metrics() is NULL_METRICS
+
+
+class TestLiveReporter:
+    def test_emit_writes_status_stream_and_prom(self, tmp_path, capsys):
+        import io
+
+        stream_path = str(tmp_path / "m.jsonl")
+        prom_path = str(tmp_path / "m.prom")
+        registry = MetricsRegistry(stream=MetricsStream(stream_path))
+        run_points_report(_specs(2), metrics=registry)
+        out = io.StringIO()
+        reporter = LiveReporter(
+            registry, interval_s=60.0, label="fig13", prom_path=prom_path, out=out
+        )
+        reporter.emit()
+        final = reporter.stop()
+        assert reporter.emissions == 2
+        lines = out.getvalue().splitlines()
+        assert lines[0].startswith("[live] fig13: 2/2 (100.0%)")
+        kinds = [r["kind"] for r in load_stream(stream_path)]
+        assert kinds.count("snapshot") == 1 and kinds[-1] == "final"
+        assert "repro_sweep_done 2" in open(prom_path).read()
+        assert snapshot_value(final, "repro_sweep_done") == 2
+
+    def test_background_thread_emits_periodically(self, tmp_path):
+        import io
+        import time
+
+        registry = MetricsRegistry()
+        registry.gauge("repro_sweep_points", "h", merge="max").set(1)
+        reporter = LiveReporter(
+            registry, interval_s=0.05, label="t", out=io.StringIO()
+        )
+        reporter.start()
+        deadline = time.time() + 5.0
+        while reporter.emissions < 2 and time.time() < deadline:
+            time.sleep(0.01)
+        reporter.stop()
+        assert reporter.emissions >= 3  # >= 2 ticks + the final emit
+
+    def test_format_status_line_mentions_failures_and_retries(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_sweep_points", "h", merge="max").set(10)
+        registry.gauge("repro_sweep_done", "h", merge="max").set(4)
+        registry.counter("repro_sweep_retries_total", "h").inc(2)
+        registry.counter(
+            "repro_sweep_points_total", "h", labels=("status",)
+        ).labels("failed").inc()
+        line = format_status_line(registry.snapshot(), "x")
+        assert "4/10 (40.0%)" in line
+        assert "retries 2" in line
+        assert "failures 1" in line

@@ -125,3 +125,73 @@ def test_track_id_assignment_is_deterministic():
     assert ids == assign_track_ids(reversed(tracks))
     assert ids["core.0"] < ids["core.1"] < ids["wq"] < ids["cc"]
     assert ids["crypto"] < ids["bank.2"] < ids["bank.10"]
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty / degenerate traces must still export valid files
+# ----------------------------------------------------------------------
+
+
+def test_empty_trace_exports_valid_chrome_json(tmp_path):
+    """A tracer that never recorded anything still writes a loadable file."""
+    tracer = Tracer()
+    path = tmp_path / "empty.json"
+    n_events = write_chrome_trace(tracer, str(path))
+    payload = json.loads(path.read_text())
+    assert n_events == len(payload["traceEvents"])
+    # Only metadata (process/thread naming) — no recorded events.
+    assert all(e["ph"] == "M" for e in payload["traceEvents"])
+    assert payload["displayTimeUnit"] == "ns"
+    assert isinstance(payload["histograms"], dict)
+
+
+def test_empty_trace_exports_empty_jsonl(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    assert write_jsonl(Tracer(), str(path)) == 0
+    assert path.read_text() == ""
+
+
+def test_single_event_export_has_valid_fields(tmp_path):
+    """One instant at ts=0 (a zero-duration run) round-trips both formats."""
+    from repro.obs.events import CAT_WQ, TRACK_WQ, TraceEvent
+
+    tracer = Tracer()
+    tracer.events.append(
+        TraceEvent(cat=CAT_WQ, name="data_append", track=TRACK_WQ, ts=0.0)
+    )
+    payload = chrome_trace_dict(tracer)
+    events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+    assert len(events) == 1
+    event = events[0]
+    assert REQUIRED_KEYS <= set(event)
+    assert event["ts"] == 0.0 and event["ph"] == "I"
+    # The track still gets its thread_name metadata record.
+    metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    assert any(e["args"]["name"] == TRACK_WQ for e in metadata)
+
+    path = tmp_path / "one.jsonl"
+    assert write_jsonl(tracer, str(path)) == 1
+    record = json.loads(path.read_text())
+    assert record == {
+        "ts": 0.0, "cat": "wq", "name": "data_append", "ph": "I", "track": "wq"
+    }
+
+
+def test_zero_duration_complete_event_is_exported(tmp_path):
+    """An X event with dur=0 keeps its (zero) duration in both formats."""
+    from repro.obs.events import CAT_TXN, PH_COMPLETE, TraceEvent, core_track
+
+    tracer = Tracer()
+    tracer.events.append(
+        TraceEvent(
+            cat=CAT_TXN, name="txn", track=core_track(0), ts=100.0,
+            ph=PH_COMPLETE, dur=0.0,
+        )
+    )
+    chrome = [
+        e for e in chrome_trace_dict(tracer)["traceEvents"] if e["ph"] == "X"
+    ]
+    assert chrome[0]["dur"] == 0.0
+    path = tmp_path / "zero.jsonl"
+    write_jsonl(tracer, str(path))
+    assert json.loads(path.read_text())["dur"] == 0.0

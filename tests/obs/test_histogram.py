@@ -78,3 +78,75 @@ def test_default_bounds_cover_simulated_latencies():
     h.record(361.0)  # PCM write service
     h.record(1e7)
     assert h.counts[-1] == 0
+
+
+def test_merge_accumulates_counts_and_extremes():
+    a = Histogram(bounds=[10, 100])
+    b = Histogram(bounds=[10, 100])
+    for v in (5, 50):
+        a.record(v)
+    for v in (7, 500):
+        b.record(v)
+    result = a.merge(b)
+    assert result is a
+    assert a.n == 4
+    assert a.counts == [2, 1, 1]
+    assert a.min == 5 and a.max == 500
+    assert a.mean == pytest.approx((5 + 50 + 7 + 500) / 4)
+
+
+def test_merge_with_empty_is_identity():
+    a = Histogram(bounds=[10])
+    a.record(3)
+    before = a.to_dict()
+    a.merge(Histogram(bounds=[10]))
+    assert a.to_dict() == before
+
+
+def test_merge_rejects_mismatched_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=[10]).merge(Histogram(bounds=[20]))
+
+
+def test_to_dict_carries_exact_total():
+    h = Histogram(bounds=[10])
+    h.record(0.1)
+    h.record(0.2)
+    assert h.to_dict()["total"] == pytest.approx(0.30000000000000004)
+
+
+def test_nearest_rank_definition():
+    from repro.obs.histogram import nearest_rank
+
+    assert nearest_rank(50, 10) == 5
+    assert nearest_rank(99, 10) == 10
+    assert nearest_rank(1, 10) == 1
+    assert nearest_rank(0.1, 1000) == 1
+    assert nearest_rank(100, 7) == 7
+    assert nearest_rank(55, 20) == 11
+    assert nearest_rank(95, 101) == 96
+    with pytest.raises(ValueError):
+        nearest_rank(0, 10)
+    with pytest.raises(ValueError):
+        nearest_rank(101, 10)
+
+
+def test_percentile_definition_matches_sim_metrics():
+    """Histogram and SimResult must share one nearest-rank definition."""
+    import random
+
+    from repro.common.stats import Stats
+    from repro.sim.metrics import SimResult
+
+    rng = random.Random(7)
+    latencies = [rng.uniform(1, 1e6) for _ in range(101)]
+    result = SimResult(
+        total_time_ns=1.0, txn_latencies=list(latencies), stats=Stats()
+    )
+    ordered = sorted(latencies)
+    h = Histogram(bounds=sorted(set(ordered)))  # exact-value buckets
+    for v in latencies:
+        h.record(v)
+    for p in (50, 55, 90, 95, 99):
+        exact = result.txn_latency_percentile(p)
+        assert h.percentile(p) == pytest.approx(exact), f"p{p} diverged"

@@ -1,0 +1,98 @@
+"""Edge cases of the event-driven time-series gauge sampler.
+
+The sampler is ticked from the memory controller's request paths, so its
+contract is subtle: exactly one sample per *crossed* interval boundary,
+no back-filling of idle gaps, and gauge reads carry the tick's own
+timestamp. These tests pin that behaviour directly, without a simulator.
+"""
+
+import pytest
+
+from repro.obs.events import TRACK_METRICS
+from repro.obs.sampler import SampleRow, TimeSeriesSampler
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(0)
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(-100.0)
+
+
+def test_first_tick_samples_at_time_zero():
+    sampler = TimeSeriesSampler(1000.0)
+    sampler.register("g", lambda ts: 42.0)
+    assert sampler.tick(0.0) is True
+    assert sampler.rows == [SampleRow(ts=0.0, name="g", value=42.0)]
+
+
+def test_no_sample_before_boundary():
+    sampler = TimeSeriesSampler(1000.0)
+    sampler.register("g", lambda ts: ts)
+    sampler.tick(0.0)
+    assert sampler.tick(999.9) is False
+    assert len(sampler.rows) == 1
+
+
+def test_idle_gap_yields_one_sample_not_backfill():
+    """Crossing many boundaries in one tick records one sample, stamped
+    with the tick's own timestamp — idle time is never fabricated."""
+    sampler = TimeSeriesSampler(1000.0)
+    sampler.register("g", lambda ts: ts)
+    sampler.tick(0.0)
+    assert sampler.tick(5500.0) is True
+    assert len(sampler.rows) == 2
+    assert sampler.rows[-1].ts == 5500.0
+    # The next boundary is beyond the tick, not at a missed multiple.
+    assert sampler.tick(5999.0) is False
+    assert sampler.tick(6000.0) is True
+
+
+def test_sampler_with_no_gauges_still_advances():
+    sampler = TimeSeriesSampler(100.0)
+    assert sampler.tick(0.0) is True
+    assert sampler.rows == []
+    assert sampler.tick(50.0) is False
+
+
+def test_all_gauges_sampled_per_boundary():
+    sampler = TimeSeriesSampler(10.0)
+    sampler.register("a", lambda ts: 1.0)
+    sampler.register("b", lambda ts: 2.0)
+    sampler.tick(0.0)
+    assert [row.name for row in sampler.rows] == ["a", "b"]
+
+
+def test_emit_callback_receives_track():
+    sampler = TimeSeriesSampler(10.0)
+    sampler.register("g", lambda ts: 7.0, track="custom.track")
+    emitted = []
+    sampler.tick(0.0, emit=lambda ts, name, value, track: emitted.append(
+        (ts, name, value, track)
+    ))
+    assert emitted == [(0.0, "g", 7.0, "custom.track")]
+
+
+def test_default_track_is_metrics():
+    sampler = TimeSeriesSampler(10.0)
+    sampler.register("g", lambda ts: 0.0)
+    emitted = []
+    sampler.tick(0.0, emit=lambda ts, name, value, track: emitted.append(track))
+    assert emitted == [TRACK_METRICS]
+
+
+def test_series_filters_by_name_in_order():
+    sampler = TimeSeriesSampler(10.0)
+    sampler.register("a", lambda ts: ts + 1)
+    sampler.register("b", lambda ts: -1.0)
+    sampler.tick(0.0)
+    sampler.tick(10.0)
+    assert sampler.series("a") == [(0.0, 1.0), (10.0, 11.0)]
+    assert sampler.series("missing") == []
+
+
+def test_to_dicts_shape():
+    sampler = TimeSeriesSampler(10.0)
+    sampler.register("g", lambda ts: 3.0)
+    sampler.tick(0.0)
+    assert sampler.to_dicts() == [{"ts": 0.0, "name": "g", "value": 3.0}]

@@ -16,6 +16,10 @@ silently:
   (``CAT_*`` categories, ``TRACK_*`` series tracks, ``*_EV_*`` event
   names) must appear in ``docs/OBSERVABILITY.md`` or
   ``docs/PERFORMANCE.md``;
+* every fleet-metric name in
+  :data:`repro.experiments.runner.METRIC_NAMES` must appear (in
+  backticks) in ``docs/OBSERVABILITY.md``, and the tuple must equal the
+  families ``SweepMetrics`` actually declares;
 * every field of every configuration dataclass (``SimConfig`` and its
   sub-configs) must be named in backticks in ``docs/CONFIG.md`` — a new
   knob (``fidelity``, ``hot_path``, ...) cannot land undocumented.
@@ -92,6 +96,28 @@ class TestModelDoc:
 
 
 class TestObservabilityDoc:
+    def test_every_metric_name_is_documented(self):
+        """The sweep-runner's fleet-metric vocabulary (METRIC_NAMES) must
+        be catalogued in docs/OBSERVABILITY.md "Fleet metrics"."""
+        from repro.experiments.runner import METRIC_NAMES
+
+        text = (DOCS / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        missing = [name for name in METRIC_NAMES if f"`{name}`" not in text]
+        assert not missing, (
+            f"fleet metrics undocumented in docs/OBSERVABILITY.md: {missing} — "
+            "add each to the metric-vocabulary table in backticks"
+        )
+
+    def test_metric_names_match_declared_families(self):
+        """METRIC_NAMES is the documented catalogue; it must equal what
+        SweepMetrics actually declares against a registry."""
+        from repro.experiments.runner import METRIC_NAMES, SweepMetrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        SweepMetrics(registry)
+        assert set(registry.families) == set(METRIC_NAMES)
+
     def test_every_event_vocabulary_constant_is_documented(self):
         from repro.obs import events
 
@@ -167,6 +193,11 @@ class TestCliDoc:
     def test_every_subcommand_is_documented(self, cli_text):
         missing = [name for name, _ in _walk_parser() if name not in cli_text]
         assert not missing, f"subcommands undocumented in docs/CLI.md: {missing}"
+
+    def test_fleet_metrics_subcommands_exist(self):
+        """The observability CLI surface CI drives must stay present."""
+        names = {name for name, _ in _walk_parser()}
+        assert {"serve-metrics", "sweep-report"} <= names
 
     def test_every_long_flag_is_documented(self, cli_text):
         missing = []

@@ -1,0 +1,160 @@
+"""The Prometheus exposition validator CI runs over --live snapshots.
+
+Loaded via importlib (tools/ is not a package), same as
+tests/test_docs_drift.py does for check_links.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location(
+        "check_prom_format", REPO_ROOT / "tools" / "check_prom_format.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def mod():
+    return _load()
+
+
+VALID = """\
+# HELP t_total A counter.
+# TYPE t_total counter
+t_total{status="ok"} 3
+t_total{status="failed"} 1
+# HELP t_gauge A gauge.
+# TYPE t_gauge gauge
+t_gauge 1.5
+# HELP t_wall A histogram.
+# TYPE t_wall histogram
+t_wall_bucket{le="1"} 2
+t_wall_bucket{le="10"} 3
+t_wall_bucket{le="+Inf"} 4
+t_wall_sum 506.1
+t_wall_count 4
+"""
+
+
+def test_valid_text_passes(mod):
+    assert mod.validate_text(VALID) == []
+
+
+def test_empty_text_passes(mod):
+    assert mod.validate_text("") == []
+    assert mod.validate_text("\n\n") == []
+
+
+def test_special_float_values_accepted(mod):
+    text = "# TYPE t gauge\nt NaN\n# TYPE u gauge\nu +Inf\n# TYPE v gauge\nv -Inf\n"
+    assert mod.validate_text(text) == []
+
+
+def test_sample_without_type_is_flagged(mod):
+    errors = mod.validate_text("t_total 3\n")
+    assert len(errors) == 1
+    assert "no preceding # TYPE" in errors[0]
+
+
+def test_unparsable_sample_is_flagged(mod):
+    errors = mod.validate_text("# TYPE t counter\nt one-point-five\n")
+    assert any("bad sample value" in e for e in errors)
+    errors = mod.validate_text("!!! not a line\n")
+    assert any("unparsable sample" in e for e in errors)
+
+
+def test_bad_type_and_malformed_comment_are_flagged(mod):
+    assert any(
+        "bad TYPE" in e for e in mod.validate_text("# TYPE t fancy\n")
+    )
+    assert any(
+        "malformed comment" in e for e in mod.validate_text("# NOPE t\n")
+    )
+
+
+def test_bad_label_pair_is_flagged(mod):
+    errors = mod.validate_text('# TYPE t counter\nt{status=ok} 1\n')
+    assert any("bad label pair" in e for e in errors)
+
+
+def test_non_cumulative_buckets_are_flagged(mod):
+    text = (
+        "# TYPE t_wall histogram\n"
+        't_wall_bucket{le="1"} 5\n'
+        't_wall_bucket{le="10"} 3\n'
+        't_wall_bucket{le="+Inf"} 5\n'
+    )
+    errors = mod.validate_text(text)
+    assert any("not cumulative" in e for e in errors)
+
+
+def test_missing_inf_bucket_is_flagged(mod):
+    text = (
+        "# TYPE t_wall histogram\n"
+        't_wall_bucket{le="1"} 1\n'
+        't_wall_bucket{le="10"} 2\n'
+    )
+    errors = mod.validate_text(text)
+    assert any("not le=+Inf" in e for e in errors)
+
+
+def test_inf_bucket_must_equal_count(mod):
+    text = (
+        "# TYPE t_wall histogram\n"
+        't_wall_bucket{le="+Inf"} 4\n'
+        "t_wall_count 5\n"
+    )
+    errors = mod.validate_text(text)
+    assert any("!= _count" in e for e in errors)
+
+
+def test_bucket_without_le_is_flagged(mod):
+    text = '# TYPE t_wall histogram\nt_wall_bucket{x="1"} 1\n'
+    errors = mod.validate_text(text)
+    assert any("without le" in e for e in errors)
+
+
+def test_escaped_label_values_pass(mod):
+    text = '# TYPE t counter\nt{l="quo\\"te\\nnew\\\\slash"} 1\n'
+    assert mod.validate_text(text) == []
+
+
+def test_labelled_histograms_check_per_series(mod):
+    text = (
+        "# TYPE t_wall histogram\n"
+        't_wall_bucket{s="a",le="1"} 1\n'
+        't_wall_bucket{s="a",le="+Inf"} 2\n'
+        't_wall_bucket{s="b",le="1"} 9\n'
+        't_wall_bucket{s="b",le="+Inf"} 9\n'
+    )
+    assert mod.validate_text(text) == []
+
+
+def test_cli_main_on_files(mod, tmp_path, capsys):
+    good = tmp_path / "good.prom"
+    good.write_text(VALID)
+    assert mod.main(["check_prom_format.py", str(good)]) == 0
+    assert "ok (8 samples)" in capsys.readouterr().out
+    bad = tmp_path / "bad.prom"
+    bad.write_text("t_total 3\n")
+    assert mod.main(["check_prom_format.py", str(bad)]) == 1
+    assert "ERROR" in capsys.readouterr().err
+    assert mod.main(["check_prom_format.py"]) == 2
+
+
+def test_registry_exposition_passes(mod):
+    """The repo's own renderer must satisfy its own validator."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("r_total", "h", labels=("s",)).labels("ok").inc()
+    registry.histogram("r_wall", "h", bounds=(1, 10)).observe(3)
+    assert mod.validate_text(registry.to_prometheus()) == []

@@ -16,6 +16,13 @@ Current floors:
   ratio at introduction was well above 4x, so this trips on regression,
   not noise).
 
+Current ceilings:
+
+* ``metrics_overhead <= 1.05`` — running the sweep with a real
+  in-memory metrics registry (the ``hotpath-metrics`` leg) must cost at
+  most 5% over the bare warm hot path: the instrumented runner stays
+  effectively free, and the NULL_METRICS default stays exactly free.
+
 Usage::
 
     python tools/check_bench_ratio.py [BENCH_SWEEP.json]
@@ -29,6 +36,11 @@ import sys
 #: speedup-key -> minimum acceptable ratio.
 FLOORS = {
     "hotpath_vs_serial": 2.0,
+}
+
+#: speedup-key -> maximum acceptable ratio (overhead caps).
+CEILINGS = {
+    "metrics_overhead": 1.05,
 }
 
 
@@ -49,6 +61,16 @@ def check(path: str) -> int:
         status = "ok" if ratio >= floor else "FAIL"
         print(f"{key}: {ratio}x (floor {floor}x) {status}")
         if ratio < floor:
+            failures += 1
+    for key, ceiling in CEILINGS.items():
+        ratio = speedup.get(key)
+        if not isinstance(ratio, (int, float)):
+            print(f"ERROR: speedup ratio {key!r} missing from {path}", file=sys.stderr)
+            failures += 1
+            continue
+        status = "ok" if ratio <= ceiling else "FAIL"
+        print(f"{key}: {ratio}x (ceiling {ceiling}x) {status}")
+        if ratio > ceiling:
             failures += 1
     if failures:
         print(

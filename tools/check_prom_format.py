@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition (v0.0.4) line-grammar validator.
+
+CI runs this over the ``.prom`` snapshot a ``--live`` sweep writes, so a
+formatting regression in ``repro.obs.metrics.prometheus_text`` fails the
+build rather than silently breaking a scraper. The checks are the ones a
+real scrape would trip on:
+
+* every line is a ``# HELP``/``# TYPE`` comment or a valid sample
+  (``name{label="value"} number``), with legal metric/label identifiers;
+* each ``# TYPE`` names a known type and precedes its samples;
+* every sample belongs to a ``# TYPE``-declared family (histograms may
+  use the ``_bucket``/``_sum``/``_count`` suffixes of a declared base);
+* histogram ``_bucket`` series carry an ``le`` label, are cumulative,
+  and end with ``le="+Inf"`` equal to ``_count``;
+* sample values parse as floats (``NaN``/``+Inf``/``-Inf`` allowed).
+
+Importable: ``from check_prom_format import validate_text`` returns a
+list of error strings (empty = valid). CLI::
+
+    python tools/check_prom_format.py sweep.prom
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Tuple
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _split_labels(raw: str) -> List[str]:
+    """Split a label body on commas outside escaped quotes."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in raw:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            current.append(ch)
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_value(raw: str) -> float:
+    if raw in ("+Inf", "Inf"):
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)  # float() accepts NaN/scientific notation
+
+
+def _base_family(name: str, typed: Dict[str, str]) -> str:
+    """The ``# TYPE``-declared family a sample belongs to, or ``""``."""
+    if name in typed:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if typed.get(base) in ("histogram", "summary"):
+                return base
+    return ""
+
+
+def validate_text(text: str) -> List[str]:
+    """Validate exposition text; returns error strings (empty = valid)."""
+    errors: List[str] = []
+    typed: Dict[str, str] = {}
+    #: (family, label-pairs-sans-le) -> [(le, cumulative count), ...]
+    buckets: Dict[Tuple[str, Tuple[str, ...]], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, Tuple[str, ...]], float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) < 3 or fields[1] not in ("HELP", "TYPE"):
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+                continue
+            name = fields[2]
+            if not METRIC_NAME_RE.match(name):
+                errors.append(f"line {lineno}: bad metric name {name!r}")
+                continue
+            if fields[1] == "TYPE":
+                if len(fields) < 4 or fields[3] not in VALID_TYPES:
+                    errors.append(f"line {lineno}: bad TYPE for {name}: {line!r}")
+                    continue
+                typed[name] = fields[3]
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name = match.group("name")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: bad sample value {match.group('value')!r}"
+            )
+            continue
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            bad = False
+            for part in _split_labels(raw_labels):
+                lmatch = LABEL_RE.match(part.strip())
+                if not lmatch:
+                    errors.append(f"line {lineno}: bad label pair {part!r}")
+                    bad = True
+                    break
+                lname = lmatch.group("name")
+                if not LABEL_NAME_RE.match(lname):
+                    errors.append(f"line {lineno}: bad label name {lname!r}")
+                    bad = True
+                    break
+                labels[lname] = lmatch.group("value")
+            if bad:
+                continue
+        family = _base_family(name, typed)
+        if not family:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE"
+            )
+            continue
+        key_labels = tuple(
+            sorted(f"{k}={v}" for k, v in labels.items() if k != "le")
+        )
+        if name.endswith("_bucket") and typed.get(family) == "histogram":
+            if "le" not in labels:
+                errors.append(f"line {lineno}: histogram bucket without le label")
+                continue
+            try:
+                le = _parse_value(labels["le"])
+            except ValueError:
+                errors.append(f"line {lineno}: bad le value {labels['le']!r}")
+                continue
+            buckets.setdefault((family, key_labels), []).append((le, value))
+        elif name.endswith("_count") and typed.get(family) in ("histogram", "summary"):
+            counts[(family, key_labels)] = value
+
+    for (family, key_labels), series in sorted(buckets.items()):
+        label_note = f" {{{','.join(key_labels)}}}" if key_labels else ""
+        last = None
+        for le, cumulative in series:
+            if last is not None and cumulative < last:
+                errors.append(
+                    f"{family}{label_note}: buckets not cumulative "
+                    f"(le={le} count {cumulative} < {last})"
+                )
+            last = cumulative
+        if series[-1][0] != float("inf"):
+            errors.append(f"{family}{label_note}: final bucket is not le=+Inf")
+        elif (family, key_labels) in counts and series[-1][1] != counts[
+            (family, key_labels)
+        ]:
+            errors.append(
+                f"{family}{label_note}: le=+Inf bucket {series[-1][1]} "
+                f"!= _count {counts[(family, key_labels)]}"
+            )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print("usage: check_prom_format.py FILE.prom", file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as fh:
+        text = fh.read()
+    errors = validate_text(text)
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    if errors:
+        print(f"{argv[1]}: {len(errors)} exposition-format error(s)", file=sys.stderr)
+        return 1
+    samples = sum(
+        1 for l in text.splitlines() if l.strip() and not l.startswith("#")
+    )
+    print(f"{argv[1]}: ok ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
