@@ -380,6 +380,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=5, help="slowest points to list (default 5)"
     )
 
+    surrogate_parser = sub.add_parser(
+        "surrogate",
+        help="fit/evaluate the analytical run-time surrogate model",
+    )
+    surrogate_parser.add_argument(
+        "mode",
+        choices=("fit", "predict", "validate"),
+        help="fit: train on the fig13 grid; predict: closed-form per-scheme "
+        "estimates for one cell; validate: check a model against a journal",
+    )
+    surrogate_parser.add_argument(
+        "--scale", default="smoke", help="experiment scale of the grid"
+    )
+    surrogate_parser.add_argument(
+        "--jobs", default="1", help="worker processes for the fit sweep"
+    )
+    surrogate_parser.add_argument(
+        "--model",
+        default="surrogate.json",
+        metavar="PATH",
+        help="model file to write (fit) or read (predict/validate)",
+    )
+    surrogate_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="validate: sweep journal to cross-check predictions against "
+        "(omitted: re-simulate the grid)",
+    )
+    surrogate_parser.add_argument(
+        "--workload", default="btree", help="predict: workload name"
+    )
+    surrogate_parser.add_argument(
+        "--request-size", type=int, default=1024, help="predict: request size"
+    )
+    surrogate_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the validation/prediction report as JSON",
+    )
+
     return parser
 
 
@@ -409,6 +451,8 @@ def main(argv=None) -> int:
             )
         )
         return 0
+    if args.command == "surrogate":
+        return _cmd_surrogate(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:
@@ -544,6 +588,66 @@ def _cmd_bench_sweep(args) -> int:
     print(format_summary(payload))
     print(f"[repro] wrote {args.output}", file=sys.stderr)
     return 0
+
+
+def _cmd_surrogate(args) -> int:
+    import json
+
+    from repro.sim import surrogate
+
+    def emit(report) -> None:
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        print(payload)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(payload)
+                fh.write("\n")
+            print(f"[repro] wrote {args.output}", file=sys.stderr)
+
+    if args.mode == "fit":
+        jobs = _parse_jobs(args.jobs)
+        print(
+            f"[repro] fitting surrogate on the fig13 grid "
+            f"(scale={args.scale}, jobs={jobs})...",
+            file=sys.stderr,
+        )
+        pairs = surrogate.collect_training_pairs(args.scale, jobs=jobs)
+        model = surrogate.fit_surrogate(pairs, scale=args.scale)
+        model.save(args.model)
+        print(f"[repro] wrote {args.model}", file=sys.stderr)
+        emit(model.validation)
+        return 0 if model.validation["within_bounds"] else 1
+
+    model = surrogate.SurrogateModel.load(args.model)
+    if args.mode == "predict":
+        predictions = surrogate.predict_grid(
+            model, args.workload, args.request_size, scale=args.scale
+        )
+        emit(
+            {
+                "workload": args.workload,
+                "request_size": args.request_size,
+                "scale": args.scale,
+                "predicted_total_time_ns": {
+                    scheme: round(value, 1)
+                    for scheme, value in predictions.items()
+                },
+            }
+        )
+        return 0
+
+    # validate
+    if args.journal:
+        report = surrogate.validate_against_journal(
+            model, args.journal, scale=args.scale
+        )
+    else:
+        pairs = surrogate.collect_training_pairs(
+            args.scale, jobs=_parse_jobs(args.jobs)
+        )
+        report = surrogate.validate_pairs(model, pairs)
+    emit(report)
+    return 0 if report["within_bounds"] else 1
 
 
 def _cmd_trace(args) -> int:

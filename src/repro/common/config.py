@@ -328,6 +328,14 @@ class SimConfig:
     #: (asserted by ``tests/sim/test_hotpath.py``), used as the
     #: differential-testing oracle and the ``serial`` benchmark baseline.
     hot_path: bool = True
+    #: Replay traces through the chunked batched loop
+    #: (:meth:`repro.sim.engine.CoreEngine.run_batched` over the flat op
+    #: arrays of :mod:`repro.sim.batch`) instead of the per-op scalar
+    #: ``step`` dispatch. Bit-identical results (asserted by
+    #: ``tests/sim/test_batch.py``); only effective when ``hot_path`` is
+    #: also on (the reference model is always scalar). ``False`` is the
+    #: ``hotpath`` benchmark leg, isolating the batching win.
+    batched_replay: bool = True
 
     def __post_init__(self) -> None:
         if not 1 <= self.minor_counter_bits <= 16:

@@ -397,6 +397,175 @@ class SecureMemorySystem:
 
         return PersistResult(durable_time=durable, reencrypted=reencrypted)
 
+    # ------------------------------------------------------------------
+    # Fast chain (batched replay, tracer disabled, nothing armed)
+    # ------------------------------------------------------------------
+    #
+    # persist_line_fast/read_line_fast are operation-for-operation twins
+    # of persist_line/read_line used by the batched replay loop
+    # (:meth:`repro.sim.engine.CoreEngine.run_batched_replay`) when the
+    # tracer is disabled and no crash point is armed. Under that gate the
+    # only things they skip are unobservable: tracer emissions, crash
+    # probes that cannot fire, the liveness re-check (done once at run
+    # start), the functional read-payload decryption (the replay loop
+    # discards it), and the result-object allocations — both return bare
+    # floats. Every stat bump, queue/bank/counter mutation, and float
+    # operation matches the regular path; tests/sim/test_batch.py
+    # asserts bit-identical results across schemes and fidelities.
+
+    def persist_line_fast(
+        self,
+        t: float,
+        line: int,
+        payload: Optional[bytes] = None,
+        core: int = 0,
+        persistent: bool = True,
+    ) -> float:
+        """:meth:`persist_line` for the fast chain; returns durable time."""
+        self._vals[self._k_data_writes] += 1
+        controller = self.controller
+        amap = self.amap
+
+        if not self._encrypted:
+            return controller.append_write_fast(
+                t,
+                line,
+                amap.bank_of_line(line),
+                amap.row_of_line(line),
+                False,
+                payload,
+                core,
+            )
+
+        block_key, slot, overflowed = self.counters.bump(line)
+        if overflowed:
+            t = self.reencrypt_page(t, amap.page_of_line(line))
+            block_key, slot, overflowed = self.counters.bump(line)
+            if overflowed:  # pragma: no cover - fresh minors cannot saturate
+                raise SimulationError("minor counter overflowed after re-encryption")
+
+        hit, writeback_page, fetch = self.counter_cache.access(
+            block_key, update=True, t=t
+        )
+        if fetch:
+            fetched = self._fetch_counter_line_fast(t, line, block_key)
+            if fetched > t:
+                t = fetched
+        if writeback_page is not None:
+            victim = self._counter_entry(
+                line=writeback_page * self.counters.lines_per_block,
+                block_key=writeback_page,
+                payload_wanted=self._functional,
+            )
+            controller.append_write_fast(
+                t, victim.line, victim.bank, victim.row, True, victim.payload, core
+            )
+
+        ciphertext = self._encrypt(line, payload)
+        t_enc = t + self._aes_ns
+
+        if self._cc_write_through:
+            counter_entry = self._counter_entry(
+                line, block_key, payload_wanted=self._functional
+            )
+            if self._atomicity_register:
+                durable = controller.append_pair_fast(
+                    t_enc, self._data_entry(line, ciphertext), counter_entry
+                )
+            else:
+                controller.append_write_fast(
+                    t,
+                    counter_entry.line,
+                    counter_entry.bank,
+                    counter_entry.row,
+                    True,
+                    counter_entry.payload,
+                    core,
+                )
+                durable = controller.append_write_fast(
+                    t_enc,
+                    line,
+                    amap.bank_of_line(line),
+                    amap.row_of_line(line),
+                    False,
+                    ciphertext,
+                    core,
+                )
+        elif self._sca_mode and persistent:
+            counter_entry = self._counter_entry(
+                line, block_key, payload_wanted=self._functional
+            )
+            durable = controller.append_pair_fast(
+                t_enc, self._data_entry(line, ciphertext), counter_entry
+            )
+            self.counter_cache.mark_clean(block_key)
+            self.stats.inc("secmem", "sca_pairs")
+        else:
+            durable = controller.append_write_fast(
+                t_enc,
+                line,
+                amap.bank_of_line(line),
+                amap.row_of_line(line),
+                False,
+                ciphertext,
+                core,
+            )
+            if self._osiris_stop_loss > 0:
+                self._osiris_tick(t_enc, line, block_key, core)
+
+        if self._osiris_stop_loss > 0 and self._functional and payload is not None:
+            self.controller.nvm.set_mac(line, _line_mac(payload))
+
+        return durable
+
+    def read_line_fast(self, t: float, line: int, core: int = 0) -> float:
+        """:meth:`read_line` for the fast chain; returns the finish time.
+
+        Skips the functional plaintext read — the batched replay loop
+        only consumes the finish time, and
+        :meth:`functional_read_plaintext` is side-effect-free (stats-free
+        NVM peek plus a pure decrypt), so the skip is unobservable.
+        """
+        self._vals[self._k_data_reads] += 1
+        data_finish = self.controller.read_fast(t, line)
+
+        if not self._encrypted:
+            return data_finish
+
+        block_key = self.counters.block_key_of_line(line)
+        hit, writeback_page, fetch = self.counter_cache.access(
+            block_key, update=False, t=t
+        )
+        vals = self._vals
+        vals[self._k_cc_read_accesses] += 1
+        if hit:
+            vals[self._k_cc_read_hits] += 1
+        if fetch:
+            ctr_ready = self._fetch_counter_line_fast(t, line, block_key)
+        else:
+            ctr_ready = t
+        if writeback_page is not None:
+            victim = self._counter_entry(
+                line=writeback_page * self.counters.lines_per_block,
+                block_key=writeback_page,
+                payload_wanted=self._functional,
+            )
+            self.controller.append_write_fast(
+                t, victim.line, victim.bank, victim.row, True, victim.payload, core
+            )
+
+        pad_ready = ctr_ready + self._aes_ns
+        return data_finish if data_finish > pad_ready else pad_ready
+
+    def _fetch_counter_line_fast(self, t: float, line: int, block_key: int) -> float:
+        """:meth:`_fetch_counter_line` minus the tracer emission."""
+        placement = self.layout.placement(block_key, self.amap.bank_of_line(line))
+        finish = self.controller.read_fast(
+            t, placement.line, bank=placement.bank, row=placement.row
+        )
+        self.stats.inc("secmem", "counter_fetches")
+        return finish
+
     def _osiris_tick(self, t: float, line: int, block_key: int, core: int) -> None:
         """Osiris stop-loss: persist the counter line every N-th update."""
         stop_loss = self.config.osiris_stop_loss

@@ -18,14 +18,22 @@ convention). Legs, in execution order:
     identical simulated results, no functional byte work. This is the
     headline serial leg.
 ``hotpath``
-    The production hot path again with a warm trace cache — isolates the
-    simulator loop itself. CI asserts this leg is at least 2x faster
-    than the ``serial`` reference leg (``tools/check_bench_ratio.py``).
+    The scalar hot path (``batched_replay=False``) with a warm trace
+    cache — isolates the per-op simulator loop itself. CI asserts this
+    leg is at least 2x faster than the ``serial`` reference leg
+    (``tools/check_bench_ratio.py``).
 ``hotpath-metrics``
-    The warm hot path once more with a real in-memory
+    The warm scalar hot path once more with a real in-memory
     :class:`~repro.obs.metrics.MetricsRegistry` installed as the runner
     default — pure instrumentation overhead. CI caps the
     ``metrics_overhead`` ratio at 1.05 (metrics cost under 5%).
+``batched-replay``
+    The full production configuration (``batched_replay=True``): chunked
+    array replay plus recorded hierarchy-outcome reuse across the
+    schemes of each cell. Recorded outcome streams from earlier legs are
+    dropped first, so this leg honestly pays its own one-recording-in-
+    six-schemes cost. CI asserts ``batched_vs_hotpath`` >= 1.3
+    (``tools/check_bench_ratio.py``).
 ``parallel`` / ``resume``
     Process fan-out over the production configuration, then a pure
     journal-resume pass (nothing simulated).
@@ -64,6 +72,7 @@ def _timed_sweep(
     base_config=None,
     clear_cache: bool = True,
     metrics: bool = False,
+    drop_outcomes: bool = False,
 ) -> Tuple[float, int, Optional[Dict[str, object]]]:
     """One fig13 sweep; returns (wall s, number of points, runner accounting).
 
@@ -71,6 +80,9 @@ def _timed_sweep(
     :class:`~repro.obs.metrics.MetricsRegistry` (no JSONL stream) as the
     runner default for the duration of the sweep — the ``hotpath-metrics``
     leg, measuring pure instrumentation overhead against ``hotpath``.
+    ``drop_outcomes=True`` clears recorded hierarchy outcome streams
+    (keeping traces/arrays warm) so the ``batched-replay`` leg records
+    its own.
     """
     from repro.experiments import fig13, runner
     from repro.obs.metrics import NULL_METRICS, MetricsRegistry
@@ -79,6 +91,8 @@ def _timed_sweep(
     trace_cache.configure(cache_enabled)
     if clear_cache:
         trace_cache.clear()
+    if drop_outcomes:
+        trace_cache.clear_outcomes()
     if metrics:
         runner.set_default_metrics(MetricsRegistry())
     try:
@@ -106,6 +120,15 @@ def _reference_config(scale: str):
 
     return dataclasses.replace(
         experiment_base_config(get_scale(scale)), hot_path=False
+    )
+
+
+def _scalar_config(scale: str):
+    """The scalar hot path (``batched_replay=False``) for the hotpath legs."""
+    from repro.experiments.common import experiment_base_config, get_scale
+
+    return dataclasses.replace(
+        experiment_base_config(get_scale(scale)), batched_replay=False
     )
 
 
@@ -163,6 +186,7 @@ def run_sweep_benchmark(
         base_config=None,
         clear_cache: bool = True,
         metrics: bool = False,
+        drop_outcomes: bool = False,
     ) -> float:
         wall, n_points, runner_accounting = _timed_sweep(
             scale,
@@ -174,6 +198,7 @@ def run_sweep_benchmark(
             base_config=base_config,
             clear_cache=clear_cache,
             metrics=metrics,
+            drop_outcomes=drop_outcomes,
         )
         runs.append(
             {
@@ -196,13 +221,26 @@ def run_sweep_benchmark(
         serial = record("serial", 1, True, base_config=reference)
         full_fidelity = record("full-fidelity", 1, True, fidelity="full")
         timing_fidelity = record("timing-fidelity", 1, True)
-        # Same production configuration as timing-fidelity, but the trace
-        # cache stays warm from the previous leg: pure simulator cost.
-        hotpath = record("hotpath", 1, True, clear_cache=False)
+        # The scalar hot path (batched replay off) with the trace cache
+        # warm from the previous leg: the per-op simulator loop alone.
+        scalar = _scalar_config(scale)
+        hotpath = record(
+            "hotpath", 1, True, base_config=scalar, clear_cache=False
+        )
         # hotpath again with a live in-memory metrics registry: the
         # instrumentation overhead CI caps at 5% (check_bench_ratio.py).
         hotpath_metrics = record(
-            "hotpath-metrics", 1, True, clear_cache=False, metrics=True
+            "hotpath-metrics",
+            1,
+            True,
+            base_config=scalar,
+            clear_cache=False,
+            metrics=True,
+        )
+        # The production batched replay, paying its own outcome-recording
+        # cost (recordings from earlier legs dropped, traces kept warm).
+        batched = record(
+            "batched-replay", 1, True, clear_cache=False, drop_outcomes=True
         )
         parallel = record("parallel", jobs, True, journal=journal)
         resume = record("resume", jobs, True, journal=journal)
@@ -224,6 +262,10 @@ def run_sweep_benchmark(
             "metrics_overhead": (
                 round(hotpath_metrics / hotpath, 3) if hotpath else 0.0
             ),
+            # Batched array replay + hierarchy outcome reuse vs the
+            # scalar hot path, trace cache warm on both sides. CI
+            # enforces >= 1.3 (tools/check_bench_ratio.py).
+            "batched_vs_hotpath": round(hotpath / batched, 3) if batched else 0.0,
             # Timing-only fidelity vs the full functional byte path on
             # the same production simulator.
             "timing_vs_full": (
@@ -271,6 +313,7 @@ def format_summary(payload: Dict[str, object]) -> str:
     lines.append(
         f"{'speedup':>16}: trace-cache {speedup['trace_cache']}x, "
         f"hotpath {speedup['hotpath_vs_serial']}x, "
+        f"batched {speedup.get('batched_vs_hotpath', 0.0)}x, "
         f"metrics-overhead {speedup.get('metrics_overhead', 0.0)}x, "
         f"timing-vs-full {speedup['timing_vs_full']}x, "
         f"parallel {speedup['parallel_vs_serial']}x, "

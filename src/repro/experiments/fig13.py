@@ -34,6 +34,41 @@ class Fig13Point:
     normalized: float
 
 
+def specs(
+    scale: str | Scale = "default",
+    request_sizes=REQUEST_SIZES,
+    fidelity: str = "timing",
+    base_config=None,
+) -> tuple:
+    """The Figure 13 grid as ``(cells, point_specs)``.
+
+    ``cells`` is the ``(workload, request_size)`` grid in sweep order;
+    ``point_specs`` holds one :class:`PointSpec` per cell x scheme
+    (schemes innermost, :data:`EVALUATED_SCHEMES` order). Shared by
+    :func:`run` and the analytical surrogate
+    (:mod:`repro.sim.surrogate`), which trains and validates on exactly
+    this grid — one definition keeps the two in lockstep.
+    """
+    scale = get_scale(scale) if isinstance(scale, str) else scale
+    base = base_config if base_config is not None else experiment_base_config(scale)
+    cells = [(workload, size) for workload in WORKLOAD_NAMES for size in request_sizes]
+    point_specs = [
+        PointSpec(
+            workload=workload,
+            scheme=scheme,
+            n_ops=scale.n_ops,
+            request_size=size,
+            footprint=scale.footprint,
+            base_config=base,
+            seed=1,
+            fidelity=fidelity,
+        )
+        for (workload, size) in cells
+        for scheme in EVALUATED_SCHEMES
+    ]
+    return cells, point_specs
+
+
 def run(
     scale: str | Scale = "default",
     request_sizes=REQUEST_SIZES,
@@ -58,24 +93,13 @@ def run(
             f"EVALUATED_SCHEMES must start with Unsec (the normalization "
             f"baseline), got {EVALUATED_SCHEMES[0]!r}"
         )
-    scale = get_scale(scale) if isinstance(scale, str) else scale
-    base = base_config if base_config is not None else experiment_base_config(scale)
-    cells = [(workload, size) for workload in WORKLOAD_NAMES for size in request_sizes]
-    specs = [
-        PointSpec(
-            workload=workload,
-            scheme=scheme,
-            n_ops=scale.n_ops,
-            request_size=size,
-            footprint=scale.footprint,
-            base_config=base,
-            seed=1,
-            fidelity=fidelity,
-        )
-        for (workload, size) in cells
-        for scheme in EVALUATED_SCHEMES
-    ]
-    results = iter(run_points(specs, jobs=jobs, label="fig13", journal=journal))
+    cells, point_specs = specs(
+        scale,
+        request_sizes=request_sizes,
+        fidelity=fidelity,
+        base_config=base_config,
+    )
+    results = iter(run_points(point_specs, jobs=jobs, label="fig13", journal=journal))
     points: List[Fig13Point] = []
     for workload, size in cells:
         baseline = None

@@ -45,7 +45,9 @@ from repro.sim.metrics import SimResult
 #: this (with ``repro.__version__``) invalidates every existing journal.
 #: v2: PointSpec grew ``fidelity`` and SimConfig grew ``fidelity``/
 #: ``hot_path``, changing every spec's asdict() shape.
-JOURNAL_SALT = "supermem-journal-v2"
+#: v3: SimConfig grew ``batched_replay``, changing the asdict() shape
+#: again (results are bit-identical; the shape alone invalidates).
+JOURNAL_SALT = "supermem-journal-v3"
 
 
 def _jsonify(obj: object) -> object:

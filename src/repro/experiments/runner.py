@@ -117,6 +117,10 @@ METRIC_NAMES = (
     "repro_journal_resume_hits_total",
     "repro_journal_resume_misses_total",
     "repro_journal_torn_tails_total",
+    "repro_trace_array_hits_total",
+    "repro_trace_array_misses_total",
+    "repro_trace_outcome_hits_total",
+    "repro_trace_outcome_misses_total",
 )
 
 #: 1-2-5 seconds ladder (1 ms .. 500 s) for per-point wall times.
@@ -209,6 +213,24 @@ class SweepMetrics:
         self.torn_tails = registry.counter(
             "repro_journal_torn_tails_total",
             "Undecodable journal lines dropped at load (torn-tail recoveries).",
+        )
+        self.array_hits = registry.counter(
+            "repro_trace_array_hits_total",
+            "Batched replays that reused already-decoded trace arrays "
+            "(serial sweeps; parent-process cache only).",
+        )
+        self.array_misses = registry.counter(
+            "repro_trace_array_misses_total",
+            "Batched replays that paid a trace-array decode pass.",
+        )
+        self.outcome_hits = registry.counter(
+            "repro_trace_outcome_hits_total",
+            "Batched replays that reused a recorded hierarchy outcome "
+            "stream (skipping the CPU cache walk).",
+        )
+        self.outcome_misses = registry.counter(
+            "repro_trace_outcome_misses_total",
+            "Batched runs that walked (and recorded) the cache hierarchy.",
         )
 
     def event(self, kind: str, **fields: object) -> None:
@@ -343,6 +365,10 @@ class RunnerReport:
     point_wall_s: Histogram = field(default_factory=Histogram)
     #: Parent-process trace-cache (hits, misses) delta, serial runs only.
     trace_cache: Tuple[int, int] = (0, 0)
+    #: Replay-array decode cache (hits, misses) delta, serial runs only.
+    trace_arrays: Tuple[int, int] = (0, 0)
+    #: Hierarchy outcome-stream cache (hits, misses) delta, serial only.
+    trace_outcomes: Tuple[int, int] = (0, 0)
     #: Failed attempts that were retried (includes timeouts).
     retries: int = 0
     #: Attempts killed by the per-point wall-clock timeout.
@@ -820,6 +846,8 @@ def _run_serial(
     from repro.sim import trace_cache
 
     hits0, misses0 = trace_cache.cache_stats()
+    array0 = trace_cache.array_stats()
+    outcome0 = trace_cache.outcome_stats()
     for index in indices:
         spec = specs[index]
         last_exc = ("", "")
@@ -869,6 +897,15 @@ def _run_serial(
             )
     hits1, misses1 = trace_cache.cache_stats()
     report.trace_cache = (hits1 - hits0, misses1 - misses0)
+    array1 = trace_cache.array_stats()
+    outcome1 = trace_cache.outcome_stats()
+    report.trace_arrays = (array1[0] - array0[0], array1[1] - array0[1])
+    report.trace_outcomes = (outcome1[0] - outcome0[0], outcome1[1] - outcome0[1])
+    if sm.enabled:
+        sm.array_hits.inc(report.trace_arrays[0])
+        sm.array_misses.inc(report.trace_arrays[1])
+        sm.outcome_hits.inc(report.trace_outcomes[0])
+        sm.outcome_misses.inc(report.trace_outcomes[1])
 
 
 # ----------------------------------------------------------------------

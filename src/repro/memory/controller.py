@@ -243,13 +243,13 @@ class MemoryController:
             bus = bus_free_at[bank // banks_per_channel]
             if bus > start:
                 start = bus
-            if (
-                best_entry is None
-                or start < best_start
-                or (start == best_start and next(iter(bucket)) < best_seq)
-            ):
+            if best_entry is None or start < best_start:
                 best_entry = next(iter(bucket.values()))
                 best_start, best_seq = start, best_entry.seq
+            elif start == best_start:
+                entry = next(iter(bucket.values()))
+                if entry.seq < best_seq:
+                    best_entry, best_seq = entry, entry.seq
         for bank, bucket in wq.counters_by_bank.items():
             start = banks[bank].free_at
             if start < clock:
@@ -395,6 +395,8 @@ class MemoryController:
         low = self.low_watermark
         high = self.high_watermark
         draining = self._draining
+        best_candidate = self._best_candidate
+        issue = self._issue
         while True:
             occupancy = len(wq)
             if occupancy == 0:
@@ -407,13 +409,13 @@ class MemoryController:
                 draining = True
             else:
                 break
-            candidate = self._best_candidate()
+            candidate = best_candidate()
             if candidate is None:
                 break
             start, entry = candidate
             if start > t:
                 break
-            self._issue(entry, start)
+            issue(entry, start)
             if start > self.clock:
                 self.clock = start
         self._draining = draining
@@ -539,6 +541,159 @@ class MemoryController:
             self._tracer.wq_append(append_time, counter.line, True, occupancy)
         self._vals[self._k_pair_appends] += 1
         return append_time
+
+    # ------------------------------------------------------------------
+    # Fast chain (batched replay, tracer disabled, nothing armed)
+    # ------------------------------------------------------------------
+    #
+    # Allocation-free twins of append_write/append_pair/read used by
+    # :meth:`repro.sim.engine.CoreEngine.run_batched_replay` through
+    # :class:`~repro.core.system.SecureMemorySystem`'s fast persist/read.
+    # They skip exactly the operations that are unobservable when the
+    # tracer is disabled (``sample_tick``, ``wq_append``/``wq_stall``
+    # emissions) and return bare floats instead of result objects.
+    # Every queue/bank/stat mutation is identical to the regular methods
+    # — differential-tested bit-for-bit by tests/sim/test_batch.py.
+
+    def _advance_fast(self, t: float) -> None:
+        """:meth:`advance_to` with the common no-drain case inlined.
+
+        When the drain is disengaged and the queue is below the high
+        watermark, :meth:`advance_to`'s loop breaks on its first
+        iteration having changed nothing but the clock — so do just
+        that without the call and loop setup. Likewise when the drain
+        *is* engaged but the memoized candidate (still valid: version
+        match, clock not past it) cannot start by ``t`` and the queue is
+        above the low watermark: advance_to would probe once and break
+        with no state change beyond the clock.
+        """
+        if not self._draining and len(self.wq) < self.high_watermark:
+            if t > self.clock:
+                self.clock = t
+            return
+        cached = self._cand_cache
+        if (
+            self._draining
+            and cached is not None
+            and cached[1] > t
+            and cached[0] == self.wq.version
+            and self.clock <= cached[1]
+            and len(self.wq) > self.low_watermark
+        ):
+            if t > self.clock:
+                self.clock = t
+            return
+        self.advance_to(t)
+
+    def append_write_fast(
+        self,
+        t: float,
+        line: int,
+        bank: int,
+        row: int,
+        is_counter: bool,
+        payload: Optional[bytes],
+        core: int,
+    ) -> float:
+        """:meth:`append_write` minus tracer probes; returns append time.
+
+        ``bank``/``row`` are required (the callers always have them),
+        saving the per-call None checks.
+        """
+        self._advance_fast(t)
+        slots = 0 if (is_counter and self.wq.would_coalesce(line)) else 1
+        append_time = self._make_space_fast(t, slots, core) if slots else t
+        self.wq.append(
+            WQEntry(
+                line=line,
+                bank=bank,
+                row=row,
+                is_counter=is_counter,
+                enq_time=append_time,
+                payload=payload,
+                core=core,
+            )
+        )
+        return append_time
+
+    def _make_space_fast(self, t: float, slots: int, core: int) -> float:
+        """:meth:`_make_space` minus the tracer stall emission."""
+        wq = self.wq
+        if wq.has_space(slots):
+            return t
+        append_time = t
+        while not wq.has_space(slots):
+            candidate = self._best_candidate()
+            if candidate is None:  # pragma: no cover - full queue has entries
+                raise SimulationError("full write queue with no candidate")
+            start, entry = candidate
+            self._issue(entry, start)
+            if start > self.clock:
+                self.clock = start
+            if start > append_time:
+                append_time = start
+        if append_time > t:
+            self._vals[self._k_full_stalls] += 1
+            self._vals[self._k_stall_ns] += append_time - t
+        return append_time
+
+    def append_pair_fast(
+        self, t: float, data: WQEntry, counter: WQEntry
+    ) -> float:
+        """:meth:`append_pair` minus tracer probes; returns append time."""
+        self._advance_fast(t)
+        wq = self.wq
+        append_time = t
+        while True:
+            coalesces = wq.would_coalesce(counter.line)
+            if wq.has_space(1 if coalesces else 2):
+                break
+            candidate = self._best_candidate()
+            if candidate is None:  # pragma: no cover - full queue has entries
+                raise SimulationError("full write queue with no candidate")
+            start, entry = candidate
+            self._issue(entry, start)
+            if start > self.clock:
+                self.clock = start
+            if start > append_time:
+                append_time = start
+        if append_time > t:
+            self._vals[self._k_full_stalls] += 1
+            self._vals[self._k_stall_ns] += append_time - t
+        data.enq_time = append_time
+        counter.enq_time = append_time
+        if coalesces:
+            wq.append(counter)
+            wq.append(data)
+        else:
+            wq.append(data)
+            wq.append(counter)
+        self._vals[self._k_pair_appends] += 1
+        return append_time
+
+    def read_fast(
+        self,
+        t: float,
+        line: int,
+        bank: Optional[int] = None,
+        row: Optional[int] = None,
+    ) -> float:
+        """:meth:`read` minus tracer probes; returns the finish time."""
+        self._advance_fast(t)
+        if self.wq.find_line(line) is not None:
+            self._vals[self._k_read_forwards] += 1
+            return t + self._bus_ns
+        bank_index = self.amap.bank_of_line(line) if bank is None else bank
+        row_id = self.amap.row_of_line(line) if row is None else row
+        channel = bank_index // self._banks_per_channel
+        start = self.bus_free_at[channel]
+        if t > start:
+            start = t
+        self.bus_free_at[channel] = start + self._bus_ns
+        end, _ = self.banks[bank_index].service_read(start, row_id)
+        self._cand_cache = None
+        self._vals[self._k_mc_reads] += 1
+        return end
 
     # ------------------------------------------------------------------
     # Read path

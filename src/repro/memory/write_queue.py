@@ -47,9 +47,14 @@ CWC_REMOVE_OLDER = "remove-older"
 CWC_MERGE_IN_PLACE = "merge-in-place"
 
 
-@dataclass
+@dataclass(slots=True)
 class WQEntry:
-    """One queued line write."""
+    """One queued line write.
+
+    ``slots=True``: hundreds of thousands of entries are constructed and
+    field-scanned per run, so slot storage (no per-entry ``__dict__``)
+    measurably trims both allocation and attribute access.
+    """
 
     line: int
     bank: int
@@ -134,12 +139,32 @@ class WriteQueue:
     # ------------------------------------------------------------------
 
     def _index(self, entry: WQEntry) -> None:
-        self._by_line.setdefault(entry.line, []).append(entry)
-        if entry.is_counter:
-            self._counters_by_line.setdefault(entry.line, []).append(entry)
-            self.counters_by_bank.setdefault(entry.bank, {})[entry.seq] = entry
+        # get-then-branch instead of setdefault: setdefault allocates a
+        # fresh empty container on *every* call just in case, and this
+        # runs once per append (the hottest queue path).
+        line = entry.line
+        bucket = self._by_line.get(line)
+        if bucket is None:
+            self._by_line[line] = [entry]
         else:
-            self.data_by_bank.setdefault(entry.bank, {})[entry.seq] = entry
+            bucket.append(entry)
+        if entry.is_counter:
+            bucket = self._counters_by_line.get(line)
+            if bucket is None:
+                self._counters_by_line[line] = [entry]
+            else:
+                bucket.append(entry)
+            bank_bucket = self.counters_by_bank.get(entry.bank)
+            if bank_bucket is None:
+                self.counters_by_bank[entry.bank] = {entry.seq: entry}
+            else:
+                bank_bucket[entry.seq] = entry
+        else:
+            bank_bucket = self.data_by_bank.get(entry.bank)
+            if bank_bucket is None:
+                self.data_by_bank[entry.bank] = {entry.seq: entry}
+            else:
+                bank_bucket[entry.seq] = entry
 
     def _unindex(self, entry: WQEntry) -> None:
         bucket = self._by_line[entry.line]

@@ -16,9 +16,23 @@ from repro.common.stats import Stats
 from repro.core.schemes import Scheme, scheme_config
 from repro.core.system import SecureMemorySystem
 from repro.obs.tracer import NULL_TRACER
+from repro.common.errors import SimulationError
+from repro.sim.batch import (
+    HIERARCHY_STAT_NAMESPACES,
+    OutcomeSegment,
+    ReplayOutcomes,
+    TraceArrays,
+    build_arrays,
+)
 from repro.sim.engine import CoreEngine
 from repro.sim.metrics import SimResult
-from repro.sim.trace_cache import cached_generate_trace
+from repro.sim.trace_cache import (
+    cached_generate_trace,
+    store_trace_outcomes,
+    trace_arrays,
+    trace_outcomes,
+    warmup_trace_arrays,
+)
 from repro.txn.persist import TraceOp
 
 
@@ -48,21 +62,60 @@ class Simulator:
         self,
         ops: Iterable[TraceOp],
         warmup_ops: Iterable[TraceOp] = (),
+        arrays: Optional[TraceArrays] = None,
+        warmup_arrays: Optional[TraceArrays] = None,
+        outcomes: Optional[ReplayOutcomes] = None,
+        record_outcomes: bool = False,
     ) -> SimResult:
-        """Replay ``warmup_ops`` (unmeasured) then ``ops`` (measured)."""
-        warmup = list(warmup_ops)
-        if warmup:
-            self.engine.set_measuring(False)
-            self.engine.run(warmup)
-            self.engine.set_measuring(True)
-            # Warmup traffic warms caches but should not pollute traffic
-            # counters; snapshot-and-subtract would complicate every stat,
-            # so instead reset the counters that experiments read (the
-            # cache *contents* stay warm — only the statistics reset).
-            for namespace in ("wq", "secmem", "nvm", "mc", "cc"):
-                for counter, _ in list(self.stats.namespace(namespace).items()):
-                    self.stats.set(namespace, counter, 0)
-        self.engine.run(ops)
+        """Replay ``warmup_ops`` (unmeasured) then ``ops`` (measured).
+
+        With the production configuration (``hot_path`` and
+        ``batched_replay`` both on) the replay runs through the chunked
+        batched loop (:meth:`CoreEngine.run_batched`); pre-decoded
+        ``arrays``/``warmup_arrays`` (from :mod:`repro.sim.trace_cache`)
+        skip the decode pass, otherwise the op lists are decoded here.
+
+        ``outcomes`` (a recorded hierarchy outcome stream for exactly
+        these arrays under this cache geometry) skips the cache walk
+        entirely (:meth:`CoreEngine.run_batched_replay`); alternatively
+        ``record_outcomes`` captures such a stream during this run into
+        :attr:`recorded_outcomes` for later replays.
+        :func:`simulate_workload` orchestrates both against the trace
+        cache. Results are bit-identical in every mode.
+        """
+        self.recorded_outcomes: Optional[ReplayOutcomes] = None
+        if self.config.hot_path and self.config.batched_replay:
+            if arrays is None:
+                arrays = build_arrays(
+                    ops if isinstance(ops, (list, tuple)) else list(ops)
+                )
+            if warmup_arrays is None:
+                warmup = (
+                    warmup_ops
+                    if isinstance(warmup_ops, (list, tuple))
+                    else list(warmup_ops)
+                )
+                warmup_arrays = build_arrays(warmup) if warmup else None
+            n_warm = warmup_arrays.n if warmup_arrays is not None else 0
+            if outcomes is not None:
+                self._run_replay(arrays, warmup_arrays, n_warm, outcomes)
+            elif record_outcomes:
+                self._run_recording(arrays, warmup_arrays, n_warm)
+            else:
+                if n_warm:
+                    self.engine.set_measuring(False)
+                    self.engine.run_batched(warmup_arrays)
+                    self.engine.set_measuring(True)
+                    self._reset_warmup_stats()
+                self.engine.run_batched(arrays)
+        else:
+            warmup = list(warmup_ops)
+            if warmup:
+                self.engine.set_measuring(False)
+                self.engine.run(warmup)
+                self.engine.set_measuring(True)
+                self._reset_warmup_stats()
+            self.engine.run(ops)
         drain_finish = self.system.drain()
         total = max(self.engine.clock, drain_finish)
         return SimResult(
@@ -70,6 +123,80 @@ class Simulator:
             txn_latencies=self.engine.txn_latencies,
             stats=self.stats,
         )
+
+    def _run_replay(
+        self,
+        arrays: TraceArrays,
+        warmup_arrays: Optional[TraceArrays],
+        n_warm: int,
+        outcomes: ReplayOutcomes,
+    ) -> None:
+        """Replay through a recorded hierarchy outcome stream."""
+        recorded_warm = (
+            0 if outcomes.warmup is None else len(outcomes.warmup.kinds)
+        )
+        if recorded_warm != n_warm or len(outcomes.main.kinds) != arrays.n:
+            raise SimulationError(
+                "outcome recording does not match the trace "
+                f"({recorded_warm}/{len(outcomes.main.kinds)} recorded vs "
+                f"{n_warm}/{arrays.n} ops)"
+            )
+        if n_warm:
+            self.engine.set_measuring(False)
+            self.engine.run_batched_replay(warmup_arrays, outcomes.warmup)
+            self.engine.set_measuring(True)
+            self._reset_warmup_stats()
+        self.engine.run_batched_replay(arrays, outcomes.main)
+        # The recorded cache-stat delta replaces the per-access bumps the
+        # skipped walk would have made (warmup included: warmup resets
+        # never touch the hierarchy namespaces).
+        vals = self.stats.raw()
+        for key, delta in outcomes.stat_delta:
+            vals[key] += delta
+
+    def _run_recording(
+        self,
+        arrays: TraceArrays,
+        warmup_arrays: Optional[TraceArrays],
+        n_warm: int,
+    ) -> None:
+        """Run batched while recording the hierarchy outcome stream."""
+        raw = self.stats.raw()
+        namespaces = HIERARCHY_STAT_NAMESPACES
+        base = {
+            key: value for key, value in raw.items() if key[0] in namespaces
+        }
+        warm_segment = None
+        if n_warm:
+            kinds: bytearray = bytearray()
+            lats: list = []
+            wbs: dict = {}
+            self.engine.set_measuring(False)
+            self.engine.run_batched_record(warmup_arrays, kinds, lats, wbs)
+            self.engine.set_measuring(True)
+            self._reset_warmup_stats()
+            warm_segment = OutcomeSegment(bytes(kinds), lats, wbs)
+        kinds = bytearray()
+        lats = []
+        wbs = {}
+        self.engine.run_batched_record(arrays, kinds, lats, wbs)
+        delta = tuple(
+            (key, value - base.get(key, 0.0))
+            for key, value in raw.items()
+            if key[0] in namespaces and value != base.get(key, 0.0)
+        )
+        self.recorded_outcomes = ReplayOutcomes(
+            OutcomeSegment(bytes(kinds), lats, wbs), warm_segment, delta
+        )
+
+    def _reset_warmup_stats(self) -> None:
+        # Warmup traffic warms caches but should not pollute traffic
+        # counters; snapshot-and-subtract would complicate every stat,
+        # so instead reset the counters that experiments read (the
+        # cache *contents* stay warm — only the statistics reset).
+        for namespace in ("wq", "secmem", "nvm", "mc", "cc"):
+            for counter, _ in list(self.stats.namespace(namespace).items()):
+                self.stats.set(namespace, counter, 0)
 
 
 def simulate_workload(
@@ -115,4 +242,24 @@ def simulate_workload(
         track_payloads=cfg.functional,
     )
     sim = Simulator(cfg, counter_organization=counter_organization, tracer=tracer)
-    return sim.run(trace.ops, warmup_ops=trace.warmup_ops)
+    arrays = warmup = outcomes = cache_sig = None
+    if cfg.hot_path and cfg.batched_replay:
+        # One decode per process: the arrays live on the cached trace.
+        arrays = trace_arrays(trace)
+        warmup = warmup_trace_arrays(trace) if trace.warmup_ops else None
+        # One cache walk per (trace, cache geometry): the first scheme of
+        # a sweep records the hierarchy outcome stream, the rest replay it
+        # (the walk is scheme-independent — see repro.sim.batch).
+        cache_sig = (cfg.l1, cfg.l2, cfg.l3, cfg.timing)
+        outcomes = trace_outcomes(trace, cache_sig)
+    result = sim.run(
+        trace.ops,
+        warmup_ops=trace.warmup_ops,
+        arrays=arrays,
+        warmup_arrays=warmup,
+        outcomes=outcomes,
+        record_outcomes=cache_sig is not None and outcomes is None,
+    )
+    if outcomes is None and sim.recorded_outcomes is not None:
+        store_trace_outcomes(trace, cache_sig, sim.recorded_outcomes)
+    return result

@@ -1,0 +1,435 @@
+"""Analytical surrogate of the timing simulator.
+
+The simulator charges per-op costs — SRAM walks, persist chains, fence
+drains — whose totals are, to first order, linear in what the *trace*
+contains: how many loads, stores, clwbs, fences and transactions it
+issues, how much compute it interleaves, and how many distinct lines it
+touches (cold-miss mass). Those are all **trace-static** quantities:
+they depend only on the generated op stream, not on the scheme being
+simulated. A per-scheme linear model over that basis is therefore a
+closed-form run-time predictor — fit once against simulated results on
+the Figure 13 grid, then evaluated in microseconds without running the
+simulator at all.
+
+What the surrogate is for:
+
+* **Sweep planning** — estimate the simulated time (and hence the wall
+  cost, which tracks it) of a design-space grid before committing to it.
+* **Sanity regression** — CI fits the surrogate on the smoke grid and
+  asserts the in-sample relative error stays within documented bounds
+  (:data:`MEAN_REL_ERROR_BOUND` / :data:`MAX_REL_ERROR_BOUND`); a model
+  change that breaks the linear cost structure (e.g. a latency charged
+  superlinearly by accident) shows up as a fit-quality collapse.
+* **Journal cross-validation** — :func:`validate_against_journal`
+  replays the prediction against results journaled by a real sweep
+  (matched by content digest), so the artifact uploaded by CI proves the
+  surrogate describes the simulator actually shipped.
+
+The fit is ordinary least squares per scheme (six small solves) with
+column scaling and a tiny ridge term for conditioning — pure Python,
+no numpy. Errors are reported *relative* (``|pred - sim| / sim``), the
+unit the bounds are documented in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.core.schemes import EVALUATED_SCHEMES, Scheme, scheme_config
+from repro.sim.batch import (
+    OP_CLWB,
+    OP_COMPUTE,
+    OP_FENCE,
+    OP_LOAD,
+    OP_STORE,
+    OP_TXN_BEGIN,
+)
+from repro.sim.trace_cache import cached_generate_trace, trace_arrays
+
+#: In-sample mean relative error the fit must stay within (CI-asserted).
+#: Measured headroom: the smoke-grid fit lands well under half of this.
+MEAN_REL_ERROR_BOUND = 0.10
+#: Worst single-point relative error the fit must stay within.
+MAX_REL_ERROR_BOUND = 0.35
+
+#: The trace-static feature basis, in coefficient order. ``intercept``
+#: absorbs fixed per-run cost; the counts are per-op cost carriers; and
+#: ``unique_lines`` carries the cold-miss/footprint mass.
+FEATURE_NAMES = (
+    "intercept",
+    "n_load",
+    "n_store",
+    "n_clwb",
+    "n_fence",
+    "n_txn",
+    "compute_ns",
+    "unique_lines",
+)
+
+
+def trace_features(trace) -> Dict[str, float]:
+    """Trace-static feature values of one generated trace.
+
+    Derived from the measured segment's flat replay arrays (decoded at
+    most once per process by :mod:`repro.sim.trace_cache`) — one
+    C-speed ``bytes.count`` per opcode plus a single pass for the
+    argument-dependent features.
+    """
+    arrays = trace_arrays(trace)
+    kinds = arrays.kinds
+    args = arrays.args
+    compute_ns = 0.0
+    lines = set()
+    for i, kind in enumerate(kinds):
+        if kind <= OP_CLWB:  # load / store / clwb all carry a line index
+            lines.add(args[i])
+        elif kind == OP_COMPUTE:
+            compute_ns += args[i]
+    return {
+        "intercept": 1.0,
+        "n_load": float(kinds.count(OP_LOAD)),
+        "n_store": float(kinds.count(OP_STORE)),
+        "n_clwb": float(kinds.count(OP_CLWB)),
+        "n_fence": float(kinds.count(OP_FENCE)),
+        "n_txn": float(kinds.count(OP_TXN_BEGIN)),
+        "compute_ns": compute_ns,
+        "unique_lines": float(len(lines)),
+    }
+
+
+@dataclasses.dataclass
+class TrainingPair:
+    """One (features, simulated run time) observation."""
+
+    workload: str
+    request_size: int
+    scheme: Scheme
+    features: Dict[str, float]
+    total_time_ns: float
+    #: Journal content digest of the spec that produced the observation
+    #: (lets validation reports cross-reference journal records).
+    digest: str = ""
+
+
+# ----------------------------------------------------------------------
+# Least squares (pure Python)
+# ----------------------------------------------------------------------
+
+
+def _solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Solve ``matrix @ x = rhs`` by Gaussian elimination, partial pivoting."""
+    n = len(rhs)
+    a = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < 1e-300:
+            raise ConfigError("singular system in surrogate fit")
+        a[col], a[pivot] = a[pivot], a[col]
+        inv = 1.0 / a[col][col]
+        for r in range(col + 1, n):
+            factor = a[r][col] * inv
+            if factor:
+                for c in range(col, n + 1):
+                    a[r][c] -= factor * a[col][c]
+    x = [0.0] * n
+    for r in range(n - 1, -1, -1):
+        acc = a[r][n]
+        for c in range(r + 1, n):
+            acc -= a[r][c] * x[c]
+        x[r] = acc / a[r][r]
+    return x
+
+
+def _fit_ols(rows: List[List[float]], y: List[float]) -> List[float]:
+    """Ridge-stabilised least squares with column scaling.
+
+    Features span ~7 orders of magnitude (intercept 1 vs compute_ns in
+    the millions), so columns are scaled to unit RMS before forming the
+    normal equations and the coefficients unscaled afterwards; the ridge
+    term is tiny relative to the (scaled) diagonal — numerical
+    conditioning only, not meaningful shrinkage.
+    """
+    n, k = len(rows), len(rows[0])
+    scale = []
+    for j in range(k):
+        rms = (sum(row[j] * row[j] for row in rows) / n) ** 0.5
+        scale.append(rms if rms > 0.0 else 1.0)
+    scaled = [[row[j] / scale[j] for j in range(k)] for row in rows]
+    ata = [
+        [sum(row[i] * row[j] for row in scaled) for j in range(k)]
+        for i in range(k)
+    ]
+    for j in range(k):
+        ata[j][j] += 1e-8 * n
+    atb = [sum(row[j] * yi for row, yi in zip(scaled, y)) for j in range(k)]
+    coef = _solve(ata, atb)
+    return [coef[j] / scale[j] for j in range(k)]
+
+
+# ----------------------------------------------------------------------
+# Model
+# ----------------------------------------------------------------------
+
+
+class SurrogateModel:
+    """Per-scheme linear predictor of simulated run time (ns)."""
+
+    def __init__(
+        self,
+        feature_names: Tuple[str, ...],
+        coefficients: Dict[str, List[float]],
+        training: Dict[str, object],
+        validation: Dict[str, object],
+    ):
+        self.feature_names = tuple(feature_names)
+        self.coefficients = coefficients
+        self.training = training
+        self.validation = validation
+
+    def predict(self, features: Dict[str, float], scheme: Scheme) -> float:
+        """Predicted ``total_time_ns`` for a trace with ``features``."""
+        try:
+            coef = self.coefficients[scheme.value]
+        except KeyError:
+            raise ConfigError(
+                f"surrogate has no coefficients for scheme {scheme.value!r}"
+            ) from None
+        return sum(
+            c * features[name] for c, name in zip(coef, self.feature_names)
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "supermem-surrogate",
+            "feature_names": list(self.feature_names),
+            "coefficients": self.coefficients,
+            "training": self.training,
+            "validation": self.validation,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SurrogateModel":
+        if payload.get("kind") != "supermem-surrogate":
+            raise ConfigError("not a surrogate model payload")
+        return cls(
+            tuple(payload["feature_names"]),  # type: ignore[arg-type]
+            dict(payload["coefficients"]),  # type: ignore[arg-type]
+            dict(payload.get("training", {})),  # type: ignore[arg-type]
+            dict(payload.get("validation", {})),  # type: ignore[arg-type]
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SurrogateModel":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# Training / validation
+# ----------------------------------------------------------------------
+
+
+def _spec_trace(spec):
+    """The (cached) generated trace a spec's simulation replays."""
+    cfg = dataclasses.replace(
+        scheme_config(spec.scheme, spec.base_config), fidelity=spec.fidelity
+    )
+    return cached_generate_trace(
+        spec.workload,
+        n_ops=spec.n_ops,
+        request_size=spec.request_size,
+        footprint=spec.footprint,
+        seed=spec.seed,
+        warmup_ops=spec.warmup_ops,
+        track_payloads=cfg.functional,
+    )
+
+
+def collect_training_pairs(
+    scale: str = "smoke",
+    request_sizes: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    fidelity: str = "timing",
+) -> List[TrainingPair]:
+    """Simulate the Figure 13 grid and pair each result with features.
+
+    Uses :func:`repro.experiments.fig13.specs` so the training grid is
+    exactly the fig13 sweep (same specs, same journal digests).
+    """
+    from repro.experiments import fig13
+    from repro.experiments.journal import spec_digest
+    from repro.experiments.runner import run_points
+
+    sizes = tuple(request_sizes) if request_sizes else fig13.REQUEST_SIZES
+    _, point_specs = fig13.specs(scale, request_sizes=sizes, fidelity=fidelity)
+    results = run_points(point_specs, jobs=jobs, label="surrogate")
+    pairs = []
+    for spec, result in zip(point_specs, results):
+        pairs.append(
+            TrainingPair(
+                workload=spec.workload,
+                request_size=spec.request_size,
+                scheme=spec.scheme,
+                features=trace_features(_spec_trace(spec)),
+                total_time_ns=result.total_time_ns,
+                digest=spec_digest(spec),
+            )
+        )
+    return pairs
+
+
+def fit_surrogate(
+    pairs: Sequence[TrainingPair],
+    scale: str = "smoke",
+) -> SurrogateModel:
+    """Fit per-scheme coefficients; validation holds the in-sample error."""
+    by_scheme: Dict[str, List[TrainingPair]] = {}
+    for pair in pairs:
+        by_scheme.setdefault(pair.scheme.value, []).append(pair)
+    coefficients = {}
+    for scheme_value, scheme_pairs in by_scheme.items():
+        if len(scheme_pairs) < len(FEATURE_NAMES):
+            raise ConfigError(
+                f"scheme {scheme_value!r} has {len(scheme_pairs)} training "
+                f"points; need at least {len(FEATURE_NAMES)} (one per "
+                f"feature) — widen the grid"
+            )
+        rows = [
+            [pair.features[name] for name in FEATURE_NAMES]
+            for pair in scheme_pairs
+        ]
+        y = [pair.total_time_ns for pair in scheme_pairs]
+        coefficients[scheme_value] = _fit_ols(rows, y)
+    model = SurrogateModel(
+        FEATURE_NAMES,
+        coefficients,
+        training={
+            "scale": scale,
+            "n_points": len(pairs),
+            "schemes": sorted(by_scheme),
+        },
+        validation={},
+    )
+    model.validation = validate_pairs(model, pairs)
+    return model
+
+
+def validate_pairs(
+    model: SurrogateModel, pairs: Sequence[TrainingPair]
+) -> Dict[str, object]:
+    """Relative-error report of ``model`` against observed pairs."""
+    if not pairs:
+        raise ConfigError("no pairs to validate the surrogate against")
+    errors = []
+    worst = None
+    for pair in pairs:
+        predicted = model.predict(pair.features, pair.scheme)
+        rel = abs(predicted - pair.total_time_ns) / pair.total_time_ns
+        errors.append(rel)
+        if worst is None or rel > worst["rel_error"]:
+            worst = {
+                "workload": pair.workload,
+                "request_size": pair.request_size,
+                "scheme": pair.scheme.value,
+                "rel_error": rel,
+            }
+    mean = sum(errors) / len(errors)
+    return {
+        "n_points": len(errors),
+        "mean_rel_error": round(mean, 6),
+        "max_rel_error": round(max(errors), 6),
+        "worst": worst,
+        "bounds": {
+            "mean_rel_error": MEAN_REL_ERROR_BOUND,
+            "max_rel_error": MAX_REL_ERROR_BOUND,
+        },
+        "within_bounds": (
+            mean <= MEAN_REL_ERROR_BOUND and max(errors) <= MAX_REL_ERROR_BOUND
+        ),
+    }
+
+
+def validate_against_journal(
+    model: SurrogateModel,
+    journal_path: str,
+    scale: str = "smoke",
+    request_sizes: Optional[Sequence[int]] = None,
+    fidelity: str = "timing",
+) -> Dict[str, object]:
+    """Validate ``model`` against results a sweep journaled to disk.
+
+    Builds the fig13 grid specs, looks each one up in the journal by
+    content digest (the same keying ``--resume`` uses), and reports the
+    relative error on every point found — proof the model describes the
+    simulator that actually wrote the journal. Points absent from the
+    journal are skipped and counted.
+    """
+    from repro.experiments import fig13
+    from repro.experiments.journal import SweepJournal, spec_digest
+
+    sizes = tuple(request_sizes) if request_sizes else fig13.REQUEST_SIZES
+    _, point_specs = fig13.specs(scale, request_sizes=sizes, fidelity=fidelity)
+    journal = SweepJournal(journal_path)
+    pairs = []
+    missing = 0
+    for spec in point_specs:
+        digest = spec_digest(spec)
+        result = journal.get(digest)
+        if result is None:
+            missing += 1
+            continue
+        pairs.append(
+            TrainingPair(
+                workload=spec.workload,
+                request_size=spec.request_size,
+                scheme=spec.scheme,
+                features=trace_features(_spec_trace(spec)),
+                total_time_ns=result.total_time_ns,
+                digest=digest,
+            )
+        )
+    if not pairs:
+        raise ConfigError(
+            f"journal {journal_path!r} holds none of the "
+            f"{len(point_specs)} grid points (wrong scale/sizes, or a "
+            f"stale code-version salt)"
+        )
+    report = validate_pairs(model, pairs)
+    report["journal"] = {
+        "path": journal_path,
+        "matched": len(pairs),
+        "missing": missing,
+    }
+    return report
+
+
+def predict_grid(
+    model: SurrogateModel,
+    workload: str,
+    request_size: int,
+    scale: str = "smoke",
+    schemes: Sequence[Scheme] = EVALUATED_SCHEMES,
+) -> Dict[str, float]:
+    """Predicted run time (ns) per scheme for one (workload, size) cell."""
+    from repro.experiments import fig13
+
+    _, point_specs = fig13.specs(scale, request_sizes=(request_size,))
+    spec = next(
+        (s for s in point_specs if s.workload == workload), None
+    )
+    if spec is None:
+        raise ConfigError(f"unknown workload {workload!r}")
+    features = trace_features(_spec_trace(spec))
+    return {
+        scheme.value: model.predict(features, scheme) for scheme in schemes
+    }

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional, Tuple
 
+from repro.sim.batch import TraceArrays, build_arrays
 from repro.workloads.generator import GeneratedTrace, generate_trace
 
 #: Maximum distinct traces retained per process (LRU eviction). A full
@@ -37,6 +38,10 @@ _cache: "OrderedDict[Tuple, GeneratedTrace]" = OrderedDict()
 _enabled = True
 _hits = 0
 _misses = 0
+_array_hits = 0
+_array_misses = 0
+_outcome_hits = 0
+_outcome_misses = 0
 
 
 def configure(enabled: bool) -> None:
@@ -49,15 +54,116 @@ def configure(enabled: bool) -> None:
 
 def clear() -> None:
     """Drop all cached traces and reset the hit/miss counters."""
-    global _hits, _misses
+    global _hits, _misses, _array_hits, _array_misses
+    global _outcome_hits, _outcome_misses
     _cache.clear()
     _hits = 0
     _misses = 0
+    _array_hits = 0
+    _array_misses = 0
+    _outcome_hits = 0
+    _outcome_misses = 0
+
+
+def clear_outcomes() -> None:
+    """Drop recorded hierarchy outcome streams, keeping traces/arrays.
+
+    Used by the benchmark's ``batched-replay`` leg so it pays its own
+    recording cost (one walk per trace per geometry) instead of reusing
+    recordings a previous leg made.
+    """
+    global _outcome_hits, _outcome_misses
+    for trace in _cache.values():
+        trace.replay_outcomes = None
+    _outcome_hits = 0
+    _outcome_misses = 0
 
 
 def cache_stats() -> Tuple[int, int]:
     """``(hits, misses)`` since the last :func:`clear`."""
     return _hits, _misses
+
+
+def array_stats() -> Tuple[int, int]:
+    """Replay-array decode cache ``(hits, misses)`` since :func:`clear`.
+
+    A *hit* means a replay reused arrays already decoded onto the trace
+    (:func:`trace_arrays`/:func:`warmup_trace_arrays`); a *miss* paid one
+    decode pass. Surfaced by the sweep runner as
+    ``repro_trace_array_hits_total``/``repro_trace_array_misses_total``.
+    """
+    return _array_hits, _array_misses
+
+
+def trace_arrays(trace: GeneratedTrace) -> TraceArrays:
+    """The flat replay arrays for ``trace.ops``, decoded at most once.
+
+    The arrays live on the trace object itself (``replay_arrays``), so a
+    trace memoized by this cache is decoded once per process no matter
+    how many schemes replay it. Arrays are pure derived data — sharing
+    them is as sound as sharing the trace tuples.
+    """
+    global _array_hits, _array_misses
+    arrays = trace.replay_arrays
+    if arrays is not None:
+        _array_hits += 1
+        return arrays
+    _array_misses += 1
+    arrays = build_arrays(trace.ops)
+    trace.replay_arrays = arrays
+    return arrays
+
+
+def outcome_stats() -> Tuple[int, int]:
+    """Hierarchy outcome-stream cache ``(hits, misses)`` since :func:`clear`.
+
+    A *hit* means a replay reused a recorded cache-walk outcome stream
+    (:func:`trace_outcomes`); a *miss* means the run had to walk (and
+    record) the hierarchy itself. A six-scheme sweep over one trace
+    records once and hits five times.
+    """
+    return _outcome_hits, _outcome_misses
+
+
+def trace_outcomes(trace: GeneratedTrace, cache_sig: Tuple):
+    """The recorded hierarchy outcomes of ``trace`` under ``cache_sig``.
+
+    ``cache_sig`` is the cache-geometry key ``(l1, l2, l3, timing)``
+    (frozen config dataclasses — hashable). Returns ``None`` (and counts
+    a miss) when no recording exists yet; the caller then runs in
+    recording mode and stores the result via
+    :func:`store_trace_outcomes`.
+    """
+    global _outcome_hits, _outcome_misses
+    store = trace.replay_outcomes
+    outcomes = None if store is None else store.get(cache_sig)
+    if outcomes is not None:
+        _outcome_hits += 1
+        return outcomes
+    _outcome_misses += 1
+    return None
+
+
+def store_trace_outcomes(trace: GeneratedTrace, cache_sig: Tuple, outcomes) -> None:
+    """Attach a freshly-recorded outcome stream to the cached trace."""
+    store = trace.replay_outcomes
+    if store is None:
+        store = {}
+        trace.replay_outcomes = store
+    store[cache_sig] = outcomes
+
+
+def warmup_trace_arrays(trace: GeneratedTrace) -> TraceArrays:
+    """Like :func:`trace_arrays`, for ``trace.warmup_ops``."""
+    global _array_hits, _array_misses
+    arrays = trace.warmup_replay_arrays
+    if arrays is not None:
+        _array_hits += 1
+        return arrays
+    _array_misses += 1
+    arrays = build_arrays(trace.warmup_ops)
+    trace.warmup_replay_arrays = arrays
+    return arrays
 
 
 def cached_generate_trace(

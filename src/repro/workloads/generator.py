@@ -84,6 +84,19 @@ class GeneratedTrace:
     seed: int
     #: Ops emitted during setup/warmup (replayed unmeasured to warm caches).
     warmup_ops: List[TraceOp] = field(default_factory=list)
+    #: Lazily-built flat replay arrays (:class:`repro.sim.batch.TraceArrays`)
+    #: for ``ops``/``warmup_ops``. Populated by
+    #: :func:`repro.sim.trace_cache.trace_arrays` so one decode serves
+    #: every replay of a cached trace; excluded from equality (pure
+    #: derived data).
+    replay_arrays: object = field(default=None, repr=False, compare=False)
+    warmup_replay_arrays: object = field(default=None, repr=False, compare=False)
+    #: Lazily-recorded hierarchy outcome streams
+    #: (:class:`repro.sim.batch.ReplayOutcomes`) keyed by cache geometry;
+    #: populated by :func:`repro.sim.trace_cache.store_trace_outcomes`.
+    #: The CPU cache walk is scheme-independent, so one recording serves
+    #: every scheme of a sweep. Pure derived data, excluded from equality.
+    replay_outcomes: object = field(default=None, repr=False, compare=False)
 
 
 def generate_trace(

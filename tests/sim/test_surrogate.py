@@ -1,0 +1,133 @@
+"""Analytical surrogate model: fit quality, persistence, journal cross-check.
+
+The surrogate (:mod:`repro.sim.surrogate`) is a per-scheme linear model
+over trace-static features, fit against simulated results on the fig13
+grid. These tests pin its contract: the in-sample relative error stays
+within the documented bounds, predictions respect the obvious
+monotonicity of the simulator (bigger requests take longer), the model
+round-trips through JSON losslessly, and journal cross-validation
+matches records by content digest exactly.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.schemes import EVALUATED_SCHEMES, Scheme
+from repro.sim import surrogate, trace_cache
+
+SIZES = (256, 1024, 4096)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """One smoke-grid fit shared by the module (the expensive part)."""
+    trace_cache.clear()
+    pairs = surrogate.collect_training_pairs("smoke", request_sizes=SIZES)
+    model = surrogate.fit_surrogate(pairs, scale="smoke")
+    return model, pairs
+
+
+class TestFit:
+    def test_error_within_documented_bounds(self, fitted):
+        model, _ = fitted
+        validation = model.validation
+        assert validation["within_bounds"] is True
+        assert validation["mean_rel_error"] <= surrogate.MEAN_REL_ERROR_BOUND
+        assert validation["max_rel_error"] <= surrogate.MAX_REL_ERROR_BOUND
+
+    def test_covers_every_scheme(self, fitted):
+        model, _ = fitted
+        assert set(model.coefficients) == {s.value for s in EVALUATED_SCHEMES}
+
+    def test_validate_pairs_matches_stored_validation(self, fitted):
+        model, pairs = fitted
+        report = surrogate.validate_pairs(model, pairs)
+        assert report["mean_rel_error"] == model.validation["mean_rel_error"]
+        assert report["max_rel_error"] == model.validation["max_rel_error"]
+        assert report["n_points"] == len(pairs)
+
+    def test_too_few_points_rejected(self, fitted):
+        _, pairs = fitted
+        few = [p for p in pairs if p.scheme is Scheme.UNSEC][:3]
+        with pytest.raises(ConfigError):
+            surrogate.fit_surrogate(few)
+
+
+class TestPredictions:
+    def test_monotone_in_request_size(self, fitted):
+        # Larger requests mean more clwbs per transaction, so every
+        # scheme's predicted run time must grow with request size.
+        model, _ = fitted
+        for scheme in (Scheme.UNSEC, Scheme.WT_BASE, Scheme.SUPERMEM):
+            predictions = [
+                surrogate.predict_grid(model, "array", size, scale="smoke")[
+                    scheme.value
+                ]
+                for size in SIZES
+            ]
+            assert predictions == sorted(predictions)
+            assert predictions[0] < predictions[-1]
+
+    def test_wt_predicted_slowest_secure_scheme(self, fitted):
+        # The paper's headline ordering survives the linear fit: strict
+        # write-through is the most expensive evaluated scheme.
+        model, _ = fitted
+        cell = surrogate.predict_grid(model, "btree", 1024, scale="smoke")
+        assert cell["wt"] == max(cell.values())
+
+    def test_unknown_scheme_and_workload_rejected(self, fitted):
+        model, pairs = fitted
+        model_missing = surrogate.SurrogateModel(
+            model.feature_names, {}, {}, {}
+        )
+        with pytest.raises(ConfigError):
+            model_missing.predict(pairs[0].features, Scheme.UNSEC)
+        with pytest.raises(ConfigError):
+            surrogate.predict_grid(model, "nosuch", 256, scale="smoke")
+
+
+class TestPersistence:
+    def test_json_round_trip_is_lossless(self, fitted, tmp_path):
+        model, pairs = fitted
+        path = str(tmp_path / "surrogate.json")
+        model.save(path)
+        loaded = surrogate.SurrogateModel.load(path)
+        assert loaded.feature_names == model.feature_names
+        assert loaded.validation == model.validation
+        for pair in pairs[:10]:
+            assert loaded.predict(pair.features, pair.scheme) == pytest.approx(
+                model.predict(pair.features, pair.scheme), rel=0, abs=0
+            )
+
+    def test_foreign_payload_rejected(self, tmp_path):
+        path = tmp_path / "not-a-model.json"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ConfigError):
+            surrogate.SurrogateModel.load(str(path))
+
+
+class TestJournalValidation:
+    def test_matches_journaled_sweep_by_digest(self, fitted, tmp_path):
+        from repro.experiments import fig13
+        from repro.experiments.runner import run_points
+
+        model, _ = fitted
+        journal = str(tmp_path / "sweep.jsonl")
+        _, point_specs = fig13.specs("smoke", request_sizes=(256,))
+        run_points(point_specs, jobs=1, label="surrogate-test", journal=journal)
+        report = surrogate.validate_against_journal(
+            model, journal, scale="smoke", request_sizes=(256,)
+        )
+        assert report["journal"]["matched"] == len(point_specs)
+        assert report["journal"]["missing"] == 0
+        assert report["n_points"] == len(point_specs)
+        assert 0.0 <= report["mean_rel_error"] <= report["max_rel_error"]
+
+    def test_empty_journal_rejected(self, fitted, tmp_path):
+        model, _ = fitted
+        empty = str(tmp_path / "empty.jsonl")
+        open(empty, "w").close()
+        with pytest.raises(ConfigError):
+            surrogate.validate_against_journal(
+                model, empty, scale="smoke", request_sizes=(256,)
+            )

@@ -22,7 +22,11 @@ silently:
   families ``SweepMetrics`` actually declares;
 * every field of every configuration dataclass (``SimConfig`` and its
   sub-configs) must be named in backticks in ``docs/CONFIG.md`` — a new
-  knob (``fidelity``, ``hot_path``, ...) cannot land undocumented.
+  knob (``fidelity``, ``hot_path``, ...) cannot land undocumented;
+* every CI-ratcheted bench-sweep ratio (``tools/check_bench_ratio.py``
+  FLOORS/CEILINGS) and every benchmark leg name must appear in
+  ``docs/PERFORMANCE.md`` — a new ratchet or leg cannot land without its
+  trajectory being documented.
 
 Plus the repo-wide markdown link check (``tools/check_links.py``) so a
 renamed doc breaks the tier-1 suite, not just CI.
@@ -30,6 +34,7 @@ renamed doc breaks the tier-1 suite, not just CI.
 
 import argparse
 import importlib.util
+import inspect
 import re
 from pathlib import Path
 
@@ -168,6 +173,46 @@ class TestConfigDoc:
         text = (DOCS / "CONFIG.md").read_text(encoding="utf-8")
         for needle in ('`"timing"`', '`"full"`', "--fidelity"):
             assert needle in text, f"docs/CONFIG.md lost {needle!r}"
+
+
+class TestPerformanceDoc:
+    @pytest.fixture(scope="class")
+    def perf_text(self):
+        return (DOCS / "PERFORMANCE.md").read_text(encoding="utf-8")
+
+    def _ratchet_module(self):
+        spec = importlib.util.spec_from_file_location(
+            "check_bench_ratio", REPO_ROOT / "tools" / "check_bench_ratio.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_every_ratcheted_ratio_is_documented(self, perf_text):
+        """Each CI floor/ceiling key must be named (in backticks) in
+        docs/PERFORMANCE.md — the ratchet exists to hold a documented
+        trajectory, so an undocumented ratchet is drift by definition."""
+        module = self._ratchet_module()
+        keys = sorted(set(module.FLOORS) | set(module.CEILINGS))
+        assert len(keys) >= 3, keys
+        missing = [key for key in keys if f"`{key}`" not in perf_text]
+        assert not missing, (
+            f"ratcheted ratios undocumented in docs/PERFORMANCE.md: {missing}"
+        )
+
+    def test_every_bench_leg_is_documented(self, perf_text):
+        """The leg table must cover every timing the bench emits."""
+        from repro.experiments.bench import run_sweep_benchmark
+
+        legs = re.findall(
+            r'record\(\s*\n?\s*"([a-z0-9-]+)"',
+            inspect.getsource(run_sweep_benchmark),
+        )
+        assert "batched-replay" in legs and "hotpath" in legs, legs
+        missing = [leg for leg in legs if f"`{leg}`" not in perf_text]
+        assert not missing, (
+            f"bench legs undocumented in docs/PERFORMANCE.md: {missing}"
+        )
 
 
 def _walk_parser():

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 HIGHER_IS_BETTER = (
     "trace_cache",
     "hotpath_vs_serial",
+    "batched_vs_hotpath",
     "timing_vs_full",
     "parallel_vs_serial",
     "resume_vs_parallel",

@@ -11,10 +11,14 @@ someone pessimised the production simulator loop.
 
 Current floors:
 
-* ``hotpath_vs_serial >= 2.0`` — the warm-cache production hot path must
+* ``hotpath_vs_serial >= 2.0`` — the warm-cache scalar hot path must
   stay at least 2x faster than the reference timing model (the measured
   ratio at introduction was well above 4x, so this trips on regression,
   not noise).
+* ``batched_vs_hotpath >= 1.3`` — the production batched replay
+  (flat-array chunks + recorded hierarchy-outcome reuse across a sweep's
+  schemes) must stay at least 1.3x faster than the scalar hot path
+  (measured ~1.45x at introduction).
 
 Current ceilings:
 
@@ -36,6 +40,7 @@ import sys
 #: speedup-key -> minimum acceptable ratio.
 FLOORS = {
     "hotpath_vs_serial": 2.0,
+    "batched_vs_hotpath": 1.3,
 }
 
 #: speedup-key -> maximum acceptable ratio (overhead caps).
