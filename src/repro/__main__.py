@@ -380,6 +380,162 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=5, help="slowest points to list (default 5)"
     )
 
+    tune_parser = sub.add_parser(
+        "tune",
+        help="search SimConfig knobs for the best fitness (docs/TUNING.md)",
+    )
+    tune_parser.add_argument(
+        "--workloads",
+        default="array,queue",
+        metavar="CSV",
+        help="comma-separated workload mix the fitness sums over "
+        "(default: array,queue)",
+    )
+    tune_parser.add_argument(
+        "--scheme",
+        default="supermem",
+        help="scheme to tune under: unsec/wb/wt/wt+cwc/wt+xbank/supermem/"
+        "sca/osiris (default: supermem)",
+    )
+    tune_parser.add_argument(
+        "--scale",
+        choices=("smoke", "default", "full"),
+        default="smoke",
+        help="run size preset per candidate evaluation (default: smoke)",
+    )
+    tune_parser.add_argument(
+        "--budget",
+        default="small",
+        metavar="N|small|medium|large",
+        help="candidate evaluations including the step-0 baseline "
+        "(small=8, medium=24, large=64, or any integer; default: small)",
+    )
+    tune_parser.add_argument(
+        "--strategy",
+        choices=("random", "hillclimb", "evolutionary"),
+        default="hillclimb",
+        help="search strategy (default: hillclimb)",
+    )
+    tune_parser.add_argument(
+        "--fitness",
+        choices=("run_time_ns", "bytes_per_persist", "weighted"),
+        default="run_time_ns",
+        help="objective to minimize (default: run_time_ns)",
+    )
+    tune_parser.add_argument(
+        "--weight",
+        type=float,
+        default=0.5,
+        metavar="W",
+        help="weighted fitness: W x normalized run time + (1-W) x "
+        "normalized bytes-per-persist (default 0.5)",
+    )
+    tune_parser.add_argument(
+        "--seed", type=int, default=1, help="search RNG seed (default 1)"
+    )
+    tune_parser.add_argument(
+        "--request-size", type=int, default=1024, help="per-point request size"
+    )
+    tune_parser.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="worker processes per candidate evaluation ('auto' = CPU "
+        "count; decisions are identical at any job count)",
+    )
+    tune_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="journal candidate evaluations to this JSONL file; a killed "
+        "search re-run with the same arguments and journal replays "
+        "finished evaluations from disk and lands on a bit-identical "
+        "trajectory digest",
+    )
+    tune_parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any evaluation point past this wall-clock "
+        "budget (default: no timeout)",
+    )
+    tune_parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="execution attempts per evaluation point (default 3)",
+    )
+    tune_parser.add_argument(
+        "--live",
+        action="store_true",
+        help="publish live fleet + repro_tune_* metrics while searching "
+        "(stream/prom paths derive from --resume, else 'sweep.*')",
+    )
+    tune_parser.add_argument(
+        "--live-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between --live emissions (default 2)",
+    )
+    tune_parser.add_argument(
+        "--surrogate-first",
+        action="store_true",
+        help="screen candidates with an online knob model before paying "
+        "for simulation; prunes points predicted worse than "
+        "best x --prune-margin (see docs/TUNING.md for caveats)",
+    )
+    tune_parser.add_argument(
+        "--surrogate-model",
+        default=None,
+        metavar="PATH",
+        help="anchor the screen on a fitted `repro surrogate fit` model "
+        "(run_time_ns fitness only; logs measured-vs-predicted "
+        "residuals per accepted point)",
+    )
+    tune_parser.add_argument(
+        "--prune-margin",
+        type=float,
+        default=1.25,
+        metavar="M",
+        help="surrogate screen prunes candidates predicted worse than "
+        "best x M (default 1.25)",
+    )
+    tune_parser.add_argument(
+        "--trajectory",
+        default="TUNE_TRAJECTORY.jsonl",
+        metavar="PATH",
+        help="per-step search trajectory JSONL (default: "
+        "TUNE_TRAJECTORY.jsonl; input of `repro tune-report`)",
+    )
+    tune_parser.add_argument(
+        "--recommend",
+        default="RECOMMENDED_CONFIG.json",
+        metavar="PATH",
+        help="best-found config export (default: RECOMMENDED_CONFIG.json)",
+    )
+
+    tune_report_parser = sub.add_parser(
+        "tune-report",
+        help="render best point / trajectory / times-to-completion from a "
+        "tune trajectory file",
+    )
+    tune_report_parser.add_argument(
+        "trajectory_file",
+        help="trajectory JSONL written by `repro tune --trajectory`",
+    )
+    tune_report_parser.add_argument(
+        "--top", type=int, default=5, help="ranked points to list (default 5)"
+    )
+    tune_report_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also export the report payload as JSON ('-' for stdout)",
+    )
+
     surrogate_parser = sub.add_parser(
         "surrogate",
         help="fit/evaluate the analytical run-time surrogate model",
@@ -453,6 +609,10 @@ def main(argv=None) -> int:
         return 0
     if args.command == "surrogate":
         return _cmd_surrogate(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "tune-report":
+        return _cmd_tune_report(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:
@@ -535,7 +695,7 @@ def _install_live_metrics(args):
     reporter = LiveReporter(
         registry,
         interval_s=args.live_interval,
-        label=args.experiment,
+        label=getattr(args, "experiment", args.command),
         prom_path=prom_path,
     ).start()
     print(
@@ -648,6 +808,114 @@ def _cmd_surrogate(args) -> int:
         report = surrogate.validate_pairs(model, pairs)
     emit(report)
     return 0 if report["within_bounds"] else 1
+
+
+def _cmd_tune(args) -> int:
+    import json
+
+    from repro.core.schemes import Scheme
+    from repro.experiments.runner import default_metrics
+    from repro.experiments.tuner import resolve_budget, tune
+
+    try:
+        scheme = Scheme(args.scheme)
+    except ValueError:
+        raise SystemExit(
+            f"unknown scheme {args.scheme!r}; expected one of "
+            f"{[s.value for s in Scheme]}"
+        )
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    if not workloads:
+        raise SystemExit("--workloads needs at least one workload name")
+    budget = resolve_budget(args.budget)
+    jobs = _parse_jobs(args.jobs)
+    _install_policy(args)
+    reporter = _install_live_metrics(args)
+
+    surrogate_model = None
+    if args.surrogate_model:
+        from repro.sim.surrogate import SurrogateModel
+
+        surrogate_model = SurrogateModel.load(args.surrogate_model)
+
+    print(
+        f"[repro] tuning {'+'.join(workloads)} under {scheme.label} "
+        f"(strategy={args.strategy}, fitness={args.fitness}, "
+        f"budget={budget}, scale={args.scale}, seed={args.seed}, "
+        f"jobs={jobs})...",
+        file=sys.stderr,
+    )
+    try:
+        result = tune(
+            workloads,
+            scheme=scheme,
+            budget=budget,
+            strategy=args.strategy,
+            fitness=args.fitness,
+            weight=args.weight,
+            seed=args.seed,
+            scale=args.scale,
+            request_size=args.request_size,
+            jobs=jobs,
+            journal=args.resume,
+            surrogate_model=surrogate_model,
+            surrogate_first=args.surrogate_first or bool(surrogate_model),
+            prune_margin=args.prune_margin,
+            trajectory=args.trajectory,
+            metrics=default_metrics(),
+        )
+    finally:
+        if reporter is not None:
+            reporter.stop()
+
+    with open(args.recommend, "w", encoding="utf-8") as fh:
+        json.dump(result.recommended(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[repro] wrote {args.trajectory}", file=sys.stderr)
+    print(f"[repro] wrote {args.recommend}", file=sys.stderr)
+
+    from repro.experiments.tuner import describe_candidate
+
+    baseline = result.steps[0].candidate if result.steps else {}
+    print(
+        f"best ({args.fitness}): {result.best_fitness:.6g} at step "
+        f"{result.best_step} — "
+        f"{describe_candidate(result.best_candidate, baseline)}"
+    )
+    print(
+        f"baseline: {result.baseline_fitness:.6g} "
+        f"(improvement {result.improvement:.3f}x); "
+        f"{result.executed_points} points executed, "
+        f"{result.resumed_points} replayed from the journal, "
+        f"{result.pruned_steps} candidates pruned; "
+        f"trajectory digest {result.digest[:16]}"
+    )
+    return 0
+
+
+def _cmd_tune_report(args) -> int:
+    import json
+
+    from repro.experiments.tuner import (
+        load_trajectory,
+        render_tune_report,
+        report_payload,
+    )
+
+    header, steps, final = load_trajectory(args.trajectory_file)
+    print(render_tune_report(header, steps, final, top=args.top))
+    if args.json:
+        payload = json.dumps(
+            report_payload(header, steps, final), indent=2, sort_keys=True
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+                fh.write("\n")
+            print(f"[repro] wrote {args.json}", file=sys.stderr)
+    return 0
 
 
 def _cmd_trace(args) -> int:

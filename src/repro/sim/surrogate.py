@@ -255,6 +255,20 @@ def _spec_trace(spec):
     )
 
 
+def predict_spec(model: SurrogateModel, spec) -> float:
+    """Predicted ``total_time_ns`` for one runner :class:`PointSpec`.
+
+    The public hook the auto-tuner's ``--surrogate-first`` screen anchors
+    on (:mod:`repro.experiments.tuner`): it derives the spec's cached
+    trace and evaluates the per-scheme model on its trace-static
+    features. Those features are config-independent by construction, so
+    this prices the *workload* under the scheme, not the candidate's
+    config deltas — see ``docs/TUNING.md`` for how the screen layers an
+    online knob model on top.
+    """
+    return model.predict(trace_features(_spec_trace(spec)), spec.scheme)
+
+
 def collect_training_pairs(
     scale: str = "smoke",
     request_sizes: Optional[Sequence[int]] = None,

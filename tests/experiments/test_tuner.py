@@ -1,0 +1,471 @@
+"""Tests for the design-space auto-tuner (`repro tune`).
+
+The determinism contracts mirror the sweep runner's golden-digest
+guarantees, lifted one level up to *search trajectories*:
+
+* same (seed, strategy, budget, mix) => bit-identical trajectory digest;
+* a search interrupted mid-budget and resumed against the same journal
+  replays finished evaluations from disk (``executed_points == 0`` for
+  the replayed prefix) and lands on the same digest as an uninterrupted
+  run — including across a real SIGKILL of the CLI process;
+* injected worker faults that heal within the retry budget change
+  nothing about the trajectory;
+* ``tune-report`` renders from the trajectory file alone.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.schemes import Scheme
+from repro.experiments.common import experiment_base_config, get_scale
+from repro.experiments.tuner import (
+    FITNESS_NAMES,
+    HYSTERESIS_PRESETS,
+    KNOBS,
+    SEARCH_SPACE,
+    STRATEGY_NAMES,
+    TUNE_BUDGETS,
+    TUNER_METRIC_NAMES,
+    SurrogateScreen,
+    TunerMetrics,
+    baseline_candidate,
+    candidate_config,
+    candidate_valid,
+    describe_candidate,
+    load_trajectory,
+    make_strategy,
+    render_tune_report,
+    report_payload,
+    resolve_budget,
+    trajectory_digest,
+    tune,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SMOKE = get_scale("smoke")
+BASE = experiment_base_config(SMOKE)
+
+
+def quick_tune(**kwargs):
+    defaults = dict(
+        workloads=["array"],
+        scheme=Scheme.SUPERMEM,
+        budget=4,
+        strategy="hillclimb",
+        seed=7,
+        scale="smoke",
+        progress=False,
+    )
+    defaults.update(kwargs)
+    return tune(**defaults)
+
+
+class TestSearchSpace:
+    def test_baseline_round_trips(self):
+        """Applying the baseline candidate onto the base config is the
+        identity in knob coordinates."""
+        candidate = baseline_candidate(BASE)
+        config = candidate_config(BASE, candidate)
+        assert baseline_candidate(config) == candidate
+
+    def test_every_single_knob_choice_is_valid(self):
+        base_candidate = baseline_candidate(BASE)
+        for knob in SEARCH_SPACE:
+            for choice in knob.choices:
+                candidate = dict(base_candidate, **{knob.name: choice})
+                config = candidate_config(BASE, candidate)  # must not raise
+                assert candidate_valid(BASE, candidate)
+                if knob.name not in ("drain_hysteresis",):
+                    assert knob.read(config) == choice
+
+    def test_hysteresis_tracks_final_wq_depth(self):
+        """Watermark presets are fractions of the *candidate's* depth,
+        not the baseline's (application-order contract)."""
+        candidate = dict(
+            baseline_candidate(BASE), wq_entries=128, drain_hysteresis="deep"
+        )
+        config = candidate_config(BASE, candidate)
+        assert config.memory.write_queue_entries == 128
+        assert config.memory.wq_high_watermark == 112  # 7/8 of 128
+        assert config.memory.wq_low_watermark == 16  # 1/8 of 128
+
+    def test_hysteresis_presets_valid_at_every_depth(self):
+        for depth in KNOBS["wq_entries"].choices:
+            for preset in HYSTERESIS_PRESETS:
+                candidate = dict(
+                    baseline_candidate(BASE),
+                    wq_entries=depth,
+                    drain_hysteresis=preset,
+                )
+                candidate_config(BASE, candidate)  # must not raise
+
+    def test_counter_cache_assoc_matches_fig17_rule(self):
+        candidate = dict(baseline_candidate(BASE), counter_cache_kb=256)
+        config = candidate_config(BASE, candidate)
+        assert config.counter_cache.size == 256 << 10
+        assert config.counter_cache.assoc == 8
+
+    def test_describe_candidate_names_only_diffs(self):
+        base_candidate = baseline_candidate(BASE)
+        assert describe_candidate(base_candidate, base_candidate) == "{baseline}"
+        changed = dict(base_candidate, n_banks=16)
+        assert describe_candidate(changed, base_candidate) == "{n_banks=16}"
+
+    def test_budget_presets(self):
+        assert resolve_budget("small") == TUNE_BUDGETS["small"]
+        assert resolve_budget(12) == 12
+        assert resolve_budget("12") == 12
+        with pytest.raises(ConfigError):
+            resolve_budget("tiny")
+        with pytest.raises(ConfigError):
+            resolve_budget(0)
+
+    def test_unknown_strategy_and_fitness_rejected(self):
+        with pytest.raises(ConfigError):
+            make_strategy("annealing")
+        with pytest.raises(ConfigError):
+            quick_tune(fitness="latency")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+    def test_same_seed_same_trajectory(self, strategy):
+        first = quick_tune(strategy=strategy)
+        second = quick_tune(strategy=strategy)
+        assert first.digest == second.digest
+        assert [s.candidate for s in first.steps] == [
+            s.candidate for s in second.steps
+        ]
+        assert first.best_candidate == second.best_candidate
+
+    def test_different_seeds_diverge(self):
+        # Random sampling over a 3780-point space: two seeds agreeing on
+        # all three proposed candidates would indicate a broken RNG path.
+        a = quick_tune(strategy="random", seed=1)
+        b = quick_tune(strategy="random", seed=2)
+        assert a.digest != b.digest
+
+    def test_jobs_do_not_change_decisions(self):
+        serial = quick_tune(workloads=["array", "queue"])
+        parallel = quick_tune(workloads=["array", "queue"], jobs=2)
+        assert serial.digest == parallel.digest
+
+    @pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+    def test_best_never_worse_than_default_grid_config(self, strategy):
+        """Step 0 evaluates the exact config every default fig13 point
+        runs, so the best-found fitness is >= that anchor by
+        construction — the acceptance criterion of ISSUE 8."""
+        result = quick_tune(strategy=strategy, budget=5)
+        assert result.steps[0].candidate == baseline_candidate(BASE)
+        assert result.best_fitness <= result.baseline_fitness
+        assert result.improvement >= 1.0
+
+    def test_weighted_fitness_baseline_is_one(self):
+        result = quick_tune(fitness="weighted", budget=3)
+        assert result.baseline_fitness == 1.0
+        assert result.best_fitness <= 1.0
+
+    def test_transient_worker_faults_change_nothing(self, monkeypatch):
+        clean = quick_tune(workloads=["array", "queue"], budget=3)
+        monkeypatch.setenv("REPRO_FAULT", "point:1:crash")
+        faulted = quick_tune(workloads=["array", "queue"], budget=3, jobs=2)
+        assert faulted.digest == clean.digest
+
+
+class TestJournalResume:
+    def test_prefix_resume_is_bit_identical(self, tmp_path):
+        """A search killed after 3 of 6 steps leaves a journal; re-running
+        the full budget against it replays those evaluations from disk
+        (cache-hit counters prove it) and digests identically to an
+        uninterrupted run."""
+        journal = str(tmp_path / "tune.jsonl")
+        prefix = quick_tune(budget=3, journal=journal)
+        assert prefix.executed_points == 3  # 1 workload x 3 measured steps
+
+        resumed = quick_tune(budget=6, journal=journal)
+        uninterrupted = quick_tune(budget=6)
+        assert resumed.digest == uninterrupted.digest
+        # The replayed prefix re-simulated nothing.
+        assert resumed.resumed_points >= 3
+        for step in resumed.steps[:3]:
+            assert step.executed_points == 0
+            assert step.resumed_points >= 1
+
+    def test_full_replay_executes_zero_points(self, tmp_path):
+        journal = str(tmp_path / "tune.jsonl")
+        first = quick_tune(budget=4, journal=journal)
+        assert first.executed_points > 0
+        replay = quick_tune(budget=4, journal=journal)
+        assert replay.executed_points == 0
+        assert replay.resumed_points == first.executed_points
+        assert replay.digest == first.digest
+
+    def test_sigkill_then_resume_matches_uninterrupted(self, tmp_path):
+        """The PR-3 drill pattern lifted to the tuner CLI: SIGKILL a
+        running `repro tune` mid-search, re-run the identical command
+        with the same journal, and the final trajectory is bit-identical
+        to a never-interrupted run."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        args = [
+            sys.executable,
+            "-m",
+            "repro",
+            "tune",
+            "--workloads",
+            "array,queue,btree",
+            "--budget",
+            "8",
+            "--strategy",
+            "evolutionary",
+            "--seed",
+            "11",
+            "--scale",
+            "smoke",
+            "--resume",
+            "tune.jsonl",
+            "--trajectory",
+            "traj.jsonl",
+            "--recommend",
+            "rec.json",
+        ]
+
+        killed_dir = tmp_path / "killed"
+        killed_dir.mkdir()
+        proc = subprocess.Popen(
+            args,
+            cwd=killed_dir,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        journal_path = killed_dir / "tune.jsonl"
+        deadline = time.time() + 120
+        while time.time() < deadline and proc.poll() is None:
+            if (
+                journal_path.exists()
+                and len(journal_path.read_bytes().splitlines()) >= 4
+            ):
+                break
+            time.sleep(0.005)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+        assert journal_path.exists(), "no journal written before the kill"
+
+        resumed = subprocess.run(
+            args, cwd=killed_dir, env=env, capture_output=True, text=True,
+            timeout=300,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        reference_dir = tmp_path / "reference"
+        reference_dir.mkdir()
+        reference = subprocess.run(
+            args, cwd=reference_dir, env=env, capture_output=True, text=True,
+            timeout=300,
+        )
+        assert reference.returncode == 0, reference.stderr
+
+        _, resumed_steps, resumed_final = load_trajectory(
+            str(killed_dir / "traj.jsonl")
+        )
+        _, reference_steps, reference_final = load_trajectory(
+            str(reference_dir / "traj.jsonl")
+        )
+        assert trajectory_digest(resumed_steps) == trajectory_digest(
+            reference_steps
+        )
+        assert resumed_final["digest"] == reference_final["digest"]
+        # The resumed run replayed the killed run's completed points.
+        assert resumed_final["resumed_points"] > 0
+        assert (
+            resumed_final["executed_points"]
+            < reference_final["executed_points"]
+        )
+        resumed_rec = json.loads((killed_dir / "rec.json").read_text())
+        reference_rec = json.loads((reference_dir / "rec.json").read_text())
+        assert resumed_rec["candidate"] == reference_rec["candidate"]
+        assert resumed_rec["config"] == reference_rec["config"]
+
+
+class TestSurrogateScreen:
+    def test_screen_predicts_after_min_train(self):
+        screen = SurrogateScreen(min_train=3)
+        base_candidate = baseline_candidate(BASE)
+        assert screen.predict(base_candidate) is None
+        for i, kb in enumerate((1, 4, 16)):
+            screen.observe(
+                dict(base_candidate, counter_cache_kb=kb), 1000.0 - i * 100
+            )
+        predicted = screen.predict(dict(base_candidate, counter_cache_kb=64))
+        assert predicted is not None
+
+    def test_anchor_shifts_predictions(self):
+        base_candidate = baseline_candidate(BASE)
+        screen = SurrogateScreen(anchor=lambda c: 500.0, min_train=2)
+        screen.observe(base_candidate, 600.0)
+        screen.observe(dict(base_candidate, n_banks=16), 650.0)
+        predicted = screen.predict(base_candidate)
+        assert predicted == pytest.approx(600.0, rel=0.2)
+
+    def test_aggressive_margin_prunes_and_stays_deterministic(self):
+        kwargs = dict(
+            budget=8,
+            strategy="random",
+            surrogate_first=True,
+            prune_margin=0.5,
+            screen_min_train=2,
+        )
+        first = quick_tune(**kwargs)
+        second = quick_tune(**kwargs)
+        assert first.pruned_steps > 0
+        assert first.digest == second.digest
+        pruned = [s for s in first.steps if s.pruned]
+        assert all(s.fitness is None and s.predicted is not None for s in pruned)
+
+    def test_pruned_steps_skip_simulation(self, tmp_path):
+        journal = str(tmp_path / "tune.jsonl")
+        result = quick_tune(
+            budget=8,
+            strategy="random",
+            surrogate_first=True,
+            prune_margin=0.5,
+            screen_min_train=2,
+            journal=journal,
+        )
+        measured = [s for s in result.steps if not s.pruned]
+        assert result.executed_points == len(measured)
+
+
+class TestMetrics:
+    def test_family_vocabulary_matches(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        TunerMetrics(registry)
+        assert set(registry.families) == set(TUNER_METRIC_NAMES)
+
+    def test_counters_track_the_search(self):
+        from repro.obs.metrics import MetricsRegistry, snapshot_value
+
+        registry = MetricsRegistry()
+        result = quick_tune(
+            budget=6,
+            strategy="random",
+            surrogate_first=True,
+            prune_margin=0.5,
+            screen_min_train=2,
+            metrics=registry,
+        )
+        snapshot = registry.snapshot()
+        measured = len([s for s in result.steps if not s.pruned])
+        assert (
+            snapshot_value(snapshot, "repro_tune_steps_total", ("measured",))
+            == measured
+        )
+        assert (
+            snapshot_value(snapshot, "repro_tune_steps_total", ("pruned",))
+            == result.pruned_steps
+        )
+        assert (
+            snapshot_value(snapshot, "repro_tune_best_fitness")
+            == result.best_fitness
+        )
+
+    def test_trace_events_cover_every_step(self):
+        result = quick_tune(budget=4)
+        events = result.trace_events()
+        assert len(events) == len(result.steps) + 1  # + closing summary
+        assert events[-1].name == "tune_result"
+        assert all(e.cat == "tuner" for e in events)
+
+
+class TestTrajectoryAndReport:
+    def test_report_renders_from_the_file_alone(self, tmp_path):
+        trajectory = str(tmp_path / "traj.jsonl")
+        result = quick_tune(budget=5, trajectory=trajectory)
+        header, steps, final = load_trajectory(trajectory)
+        assert header["strategy"] == "hillclimb"
+        assert len(steps) == 5
+        assert final["digest"] == result.digest
+        assert trajectory_digest(steps) == result.digest
+
+        text = render_tune_report(header, steps, final)
+        assert "## Best point" in text
+        assert "## Fitness vs budget" in text
+        assert "## Times to completion" in text
+        for knob in SEARCH_SPACE:
+            assert f"`{knob.name}`" in text
+        assert result.digest in text
+
+    def test_report_tolerates_torn_tail(self, tmp_path):
+        trajectory = str(tmp_path / "traj.jsonl")
+        quick_tune(budget=4, trajectory=trajectory)
+        with open(trajectory, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "tune_st')  # SIGKILL mid-append
+        header, steps, final = load_trajectory(trajectory)
+        assert len(steps) == 4
+        assert "## Best point" in render_tune_report(header, steps, final)
+
+    def test_json_payload_round_trips(self, tmp_path):
+        trajectory = str(tmp_path / "traj.jsonl")
+        result = quick_tune(budget=4, trajectory=trajectory)
+        header, steps, final = load_trajectory(trajectory)
+        payload = report_payload(header, steps, final)
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["digest"] == result.digest
+        assert encoded["best"]["candidate"] == {
+            k: v for k, v in sorted(result.best_candidate.items())
+        }
+        assert len(encoded["steps"]) == 4
+
+    def test_recommended_payload_names_config_fields(self):
+        result = quick_tune(budget=3)
+        payload = result.recommended()
+        assert payload["kind"] == "supermem-recommended-config"
+        config = payload["config"]
+        for key in (
+            "counter_cache_size",
+            "write_queue_entries",
+            "n_banks",
+            "n_channels",
+            "bank_mapping",
+        ):
+            assert key in config
+        assert payload["improvement"] >= 1.0
+        json.dumps(payload)  # must be JSON-serialisable as-is
+
+    def test_cli_tune_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        trajectory = str(tmp_path / "traj.jsonl")
+        quick_tune(budget=3, trajectory=trajectory)
+        json_out = str(tmp_path / "report.json")
+        assert main(["tune-report", trajectory, "--json", json_out]) == 0
+        captured = capsys.readouterr()
+        assert "# Tune report" in captured.out
+        assert json.loads(Path(json_out).read_text())["kind"] == (
+            "supermem-tune-report"
+        )
+
+
+class TestFitnessVocabulary:
+    def test_vocabulary_constants(self):
+        assert FITNESS_NAMES == ("run_time_ns", "bytes_per_persist", "weighted")
+        assert set(STRATEGY_NAMES) == {"random", "hillclimb", "evolutionary"}
+
+    def test_bytes_per_persist_fitness_runs(self):
+        result = quick_tune(fitness="bytes_per_persist", budget=3)
+        assert result.best_fitness > 0
+        assert result.best_fitness <= result.baseline_fitness

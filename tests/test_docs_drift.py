@@ -19,7 +19,13 @@ silently:
 * every fleet-metric name in
   :data:`repro.experiments.runner.METRIC_NAMES` must appear (in
   backticks) in ``docs/OBSERVABILITY.md``, and the tuple must equal the
-  families ``SweepMetrics`` actually declares;
+  families ``SweepMetrics`` actually declares — and likewise for the
+  auto-tuner's :data:`repro.experiments.tuner.TUNER_METRIC_NAMES` /
+  ``TunerMetrics``;
+* every search-space knob, strategy, fitness, and budget preset of
+  :mod:`repro.experiments.tuner` must be named in ``docs/TUNING.md`` —
+  bidirectionally: every knob row of the TUNING.md search-space table
+  must name a knob that exists in ``SEARCH_SPACE``;
 * every field of every configuration dataclass (``SimConfig`` and its
   sub-configs) must be named in backticks in ``docs/CONFIG.md`` — a new
   knob (``fidelity``, ``hot_path``, ...) cannot land undocumented;
@@ -123,6 +129,25 @@ class TestObservabilityDoc:
         SweepMetrics(registry)
         assert set(registry.families) == set(METRIC_NAMES)
 
+    def test_every_tuner_metric_name_is_documented(self):
+        """The auto-tuner's ``repro_tune_*`` vocabulary must be
+        catalogued in docs/OBSERVABILITY.md alongside the fleet metrics."""
+        from repro.experiments.tuner import TUNER_METRIC_NAMES
+
+        text = (DOCS / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        missing = [n for n in TUNER_METRIC_NAMES if f"`{n}`" not in text]
+        assert not missing, (
+            f"tuner metrics undocumented in docs/OBSERVABILITY.md: {missing}"
+        )
+
+    def test_tuner_metric_names_match_declared_families(self):
+        from repro.experiments.tuner import TUNER_METRIC_NAMES, TunerMetrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        TunerMetrics(registry)
+        assert set(registry.families) == set(TUNER_METRIC_NAMES)
+
     def test_every_event_vocabulary_constant_is_documented(self):
         from repro.obs import events
 
@@ -212,6 +237,78 @@ class TestPerformanceDoc:
         missing = [leg for leg in legs if f"`{leg}`" not in perf_text]
         assert not missing, (
             f"bench legs undocumented in docs/PERFORMANCE.md: {missing}"
+        )
+
+
+class TestTuningDoc:
+    @pytest.fixture(scope="class")
+    def tuning_text(self):
+        return (DOCS / "TUNING.md").read_text(encoding="utf-8")
+
+    def test_every_knob_is_documented(self, tuning_text):
+        """Each search-space knob needs its name (backticked) and its
+        underlying SimConfig field path in the TUNING.md table."""
+        from repro.experiments.tuner import SEARCH_SPACE
+
+        missing = []
+        for knob in SEARCH_SPACE:
+            if f"`{knob.name}`" not in tuning_text:
+                missing.append(knob.name)
+                continue
+            field_root = knob.field.split(" ")[0]
+            if f"`{field_root}`" not in tuning_text:
+                missing.append(f"{knob.name} (field {field_root})")
+        assert not missing, (
+            f"search-space knobs undocumented in docs/TUNING.md: {missing}"
+        )
+
+    def test_documented_knobs_exist_in_source(self, tuning_text):
+        """The reverse direction: every `knob` row of the TUNING.md
+        search-space table must name a real SEARCH_SPACE knob."""
+        from repro.experiments.tuner import KNOBS
+
+        table_rows = re.findall(
+            r"^\|\s*`([a-z_]+)`\s*\|[^|]*\|\s*`[^`]+`", tuning_text, re.M
+        )
+        assert len(table_rows) >= 6, (
+            "TUNING.md search-space table not found (or lost its rows)"
+        )
+        unknown = [name for name in table_rows if name not in KNOBS]
+        assert not unknown, (
+            f"docs/TUNING.md documents knobs that do not exist: {unknown}"
+        )
+
+    def test_strategies_fitnesses_and_budgets_are_documented(self, tuning_text):
+        from repro.experiments.tuner import (
+            FITNESS_NAMES,
+            STRATEGY_NAMES,
+            TUNE_BUDGETS,
+        )
+
+        missing = [
+            f"`{name}`"
+            for name in (
+                *STRATEGY_NAMES,
+                *FITNESS_NAMES,
+                *TUNE_BUDGETS,
+            )
+            if f"`{name}`" not in tuning_text
+        ]
+        assert not missing, (
+            f"vocabulary undocumented in docs/TUNING.md: {missing}"
+        )
+
+    def test_every_knob_choice_is_documented(self, tuning_text):
+        """The documented ranges must cover the actual choice tuples."""
+        from repro.experiments.tuner import SEARCH_SPACE
+
+        missing = []
+        for knob in SEARCH_SPACE:
+            for choice in knob.choices:
+                if str(choice) not in tuning_text:
+                    missing.append(f"{knob.name}={choice}")
+        assert not missing, (
+            f"knob choices undocumented in docs/TUNING.md: {missing}"
         )
 
 
