@@ -51,6 +51,7 @@ def _run_experiment(
         fig15,
         fig16,
         fig17,
+        fig_channels,
         fig_recovery,
         related_work,
         table1,
@@ -84,6 +85,9 @@ def _run_experiment(
     elif name == "fig17":
         points = fig17.run(scale, jobs=jobs, journal=journal, fidelity=fidelity)
         rendered = fig17.render(points)
+    elif name == "fig-channels":
+        points = fig_channels.run(scale, jobs=jobs, journal=journal, fidelity=fidelity)
+        rendered = fig_channels.render(points)
     elif name == "fig-recovery":
         points = fig_recovery.run(scale, jobs=jobs, journal=journal)
         rendered = fig_recovery.render(points)
@@ -103,6 +107,7 @@ EXPERIMENTS = (
     "fig15",
     "fig16",
     "fig17",
+    "fig-channels",
     "fig-recovery",
     "ablations",
     "related",
@@ -115,6 +120,7 @@ _DESCRIPTIONS = {
     "fig15": "NVM write requests normalised to Unsec",
     "fig16": "Write-queue length sensitivity (8..128 entries)",
     "fig17": "Counter-cache size sensitivity (1KB..4MB)",
+    "fig-channels": "Channel-count sensitivity (1..8 channels at fixed banks)",
     "fig-recovery": "Section 6 recovery cost vs capacity/log/RSR/dirty fraction",
     "ablations": "Design-choice ablations (CWC policy, XBank offset, ...)",
     "related": "Section 6 related work: SCA / Osiris runtime + recovery cost",
@@ -250,7 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser = sub.add_parser("simulate", help="simulate one workload/scheme point")
     sim_parser.add_argument("workload")
     sim_parser.add_argument(
-        "--scheme", default="supermem", help="unsec/wb/wt/wt+cwc/wt+xbank/supermem/sca/osiris"
+        "--scheme", default="supermem", help="unsec/wb/wt/wt+cwc/wt+xbank/supermem/sca/osiris/supermem+bmt"
     )
     sim_parser.add_argument("--ops", type=int, default=200)
     sim_parser.add_argument("--request-size", type=int, default=1024)
@@ -308,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="price one post-crash recovery (timed model; see docs/RECOVERY.md)",
     )
     recovery_parser.add_argument(
-        "scheme", help="recovery scheme: supermem/sca/osiris (path is derived)"
+        "scheme", help="recovery scheme: supermem/supermem+bmt/sca/osiris (path is derived)"
     )
     recovery_parser.add_argument(
         "--capacity", type=int, default=32 << 20, help="NVM capacity in bytes"

@@ -130,6 +130,10 @@ class TimingConfig:
     twr_ns: float = 300.0
     #: AES pipeline latency for one OTP, 24 cycles at 2 GHz = 12 ns.
     aes_cycles: int = 24
+    #: Hash-engine latency for one integrity-tree node rehash or MAC
+    #: (SHA-like digest over a 64 B block), 80 cycles at 2 GHz = 40 ns.
+    #: Only charged when ``SimConfig.integrity_tree`` is enabled.
+    hash_cycles: int = 80
     #: Command/bus overhead serialising request issue at the controller.
     bus_ns: float = 2.0
     #: Cost of issuing one clwb (besides any stall on a full write queue).
@@ -153,6 +157,8 @@ class TimingConfig:
                 raise ConfigError(f"{name} must be positive")
         if self.aes_cycles < 0:
             raise ConfigError("aes_cycles must be >= 0")
+        if self.hash_cycles < 0:
+            raise ConfigError("hash_cycles must be >= 0")
 
     def cycles_to_ns(self, cycles: float) -> float:
         """Convert CPU cycles to nanoseconds at the configured frequency."""
@@ -162,6 +168,11 @@ class TimingConfig:
     def aes_ns(self) -> float:
         """OTP generation latency in nanoseconds."""
         return self.cycles_to_ns(self.aes_cycles)
+
+    @property
+    def hash_ns(self) -> float:
+        """Integrity-tree node rehash / MAC latency in nanoseconds."""
+        return self.cycles_to_ns(self.hash_cycles)
 
     @property
     def read_service_ns(self) -> float:
@@ -262,6 +273,11 @@ def _default_counter_cache() -> CounterCacheConfig:
     return CounterCacheConfig(size=256 << 10, assoc=8, latency_cycles=8)
 
 
+def _default_tree_cache() -> CacheConfig:
+    """On-controller integrity-tree node cache (Freij et al. geometry)."""
+    return CacheConfig(size=16 << 10, assoc=8, latency_cycles=8)
+
+
 @dataclass(frozen=True)
 class SimConfig:
     """Top-level configuration of one simulated system.
@@ -277,9 +293,17 @@ class SimConfig:
     l2: CacheConfig = field(default_factory=_default_l2)
     l3: CacheConfig = field(default_factory=_default_l3)
     counter_cache: CounterCacheConfig = field(default_factory=_default_counter_cache)
+    #: Geometry of the integrity-tree node cache (only instantiated when
+    #: ``integrity_tree`` is enabled).
+    tree_cache: CacheConfig = field(default_factory=_default_tree_cache)
 
     #: Whether the NVM is encrypted at all (False = the paper's Unsec).
     encrypted: bool = True
+    #: Price integrity metadata on the timed path: per-line MACs plus a
+    #: Bonsai-style Merkle counter tree with a write-back node cache and
+    #: coalesced ancestor updates (Freij et al.; the SuperMem+BMT scheme).
+    #: Requires an encrypted, write-through counter organisation.
+    integrity_tree: bool = False
     #: Counter line placement (paper Figure 8).
     counter_placement: CounterPlacementPolicy = CounterPlacementPolicy.SINGLE_BANK
     #: Counter write coalescing in the write queue (Section 3.4).

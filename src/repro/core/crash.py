@@ -114,6 +114,11 @@ class DurableImage:
     #: Per-line ECC/MAC check bits (Osiris-style recovery only; the bits
     #: physically live in the NVM array and persist with their lines).
     macs: Dict[int, bytes] = field(default_factory=dict)
+    #: Root of the integrity tree at crash time (``Scheme.SUPERMEM_BMT``
+    #: only). Models the on-chip root register, which real hardware keeps
+    #: in a small NVRAM/fuse cell across power loss; recovery rebuilds
+    #: the tree from the persisted counter region and must reproduce it.
+    tree_root: Optional[bytes] = None
     #: Cost-accounting hook: called with the line index on every
     #: :meth:`line` access. The recovery-cost model installs a
     #: :class:`~repro.core.recovery_cost.RecoveryMeter` charge here so

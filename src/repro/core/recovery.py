@@ -22,7 +22,7 @@ Table 1 experiments check end to end.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 from repro.common.address import AddressMap, LINES_PER_PAGE
 from repro.common.errors import SimulationError
@@ -61,6 +61,8 @@ class RecoveredSystem:
         self._overlay: Dict[int, bytes] = {}
         #: Counter lines already fetched (and cached) by this recovery.
         self._fetched_counter_lines: Set[int] = set()
+        #: Set by :meth:`rebuild_integrity_tree` (SuperMem+BMT recovery).
+        self.rebuilt_tree = None
         self._parse_counter_region()
 
     # ------------------------------------------------------------------
@@ -95,9 +97,12 @@ class RecoveredSystem:
         return self.amap.n_lines + page
 
     def _parse_counter_region(self) -> None:
+        # Bounded above: lines past ``base + n_pages`` belong to the
+        # integrity-tree node region, not to any page's counter block.
         base = self.amap.n_lines
+        limit = base + self.amap.n_pages
         for line, payload in self._nvm.items():
-            if line >= base:
+            if base <= line < limit:
                 self._blocks[line - base] = CounterBlock.from_bytes(
                     payload, minor_bits=self.config.minor_counter_bits
                 )
@@ -157,6 +162,51 @@ class RecoveredSystem:
         if ciphertext is None:
             return ZERO_LINE
         return self.cipher.decrypt(line, counter, ciphertext)
+
+    # ------------------------------------------------------------------
+    # Integrity-tree rebuild (Scheme.SUPERMEM_BMT)
+    # ------------------------------------------------------------------
+
+    def rebuild_integrity_tree(self) -> Tuple[int, int, bytes]:
+        """Rebuild the Bonsai counter tree from the persisted counter region.
+
+        A crash drops every dirty node of the on-chip tree cache, so the
+        NVM node region is stale; the tree is reconstructed bottom-up from
+        the counter lines that *are* persisted (write-through guarantees
+        they all are). Each persisted counter line costs one bank read
+        plus one leaf hash; each distinct touched ancestor (and the root)
+        costs one hash. The rebuilt tree is kept on ``self.rebuilt_tree``
+        so audits can :meth:`~repro.crypto.integrity.MerkleCounterTree.
+        verify_path` individual leaves.
+
+        Returns ``(leaves_rebuilt, nodes_rehashed, root)``; the caller
+        compares ``root`` against ``DurableImage.tree_root``.
+        """
+        from repro.crypto.integrity import MerkleCounterTree
+        from repro.crypto.tree_timed import TreeGeometry
+
+        n_pages = self.amap.n_pages
+        base = self.amap.n_lines
+        tree = MerkleCounterTree(n_pages)
+        geom = TreeGeometry(n_pages)
+        touched_ancestors: Set[int] = set()
+        leaves = 0
+        for line in sorted(self._nvm):
+            if not base <= line < base + n_pages:
+                continue
+            page = line - base
+            if self.meter is not None:
+                self.meter.nvm_read(line, counter=True)
+            tree.update_leaf(page, self._nvm[line])
+            leaves += 1
+            touched_ancestors.update(geom.ancestors(page))
+        # A bottom-up rebuild hashes every touched internal node exactly
+        # once (memoised), plus the root register.
+        nodes_rehashed = len(touched_ancestors) + 1
+        if self.meter is not None:
+            self.meter.hash(leaves + nodes_rehashed)
+        self.rebuilt_tree = tree
+        return leaves, nodes_rehashed, tree.root
 
     # ------------------------------------------------------------------
     # RSR resume (finish an interrupted page re-encryption)

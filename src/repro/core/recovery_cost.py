@@ -13,6 +13,11 @@ driven through it:
   interrupted page re-encryption (bounded by one page), scan the log
   tail, replay. Cost is O(RSR) + O(log size): *independent of memory
   capacity*.
+* **SuperMem+BMT** (:func:`timed_supermem_bmt_recovery`) — the SuperMem
+  path preceded by an integrity-tree rebuild: one read + leaf hash per
+  persisted counter line, one hash per distinct touched ancestor, root
+  compared against the on-chip root register
+  (:attr:`~repro.core.crash.DurableImage.tree_root`).
 * **SCA scan** (:func:`timed_sca_scan_recovery`) — a write-back counter
   cache loses dirty counters and nothing records which: recovery must
   walk the *entire* counter region (:mod:`repro.core.sca_scan`) before
@@ -52,6 +57,7 @@ from repro.core.schemes import (
     RECOVERY_PATH_OSIRIS,
     RECOVERY_PATH_SCA_SCAN,
     RECOVERY_PATH_SUPERMEM,
+    RECOVERY_PATH_SUPERMEM_BMT,
     recovery_path,
     scheme_config,
 )
@@ -90,6 +96,7 @@ class RecoveryMeter:
         self._bank_free = [0.0] * config.memory.n_banks
         self._bus_ns = 0.0
         self._crypto_ns = 0.0
+        self._hash_ns = 0.0
         self.frozen = False
         # Raw action counters.
         self.nvm_reads = 0
@@ -97,6 +104,7 @@ class RecoveryMeter:
         self.data_line_reads = 0
         self.counter_line_reads = 0
         self.aes_ops = 0
+        self.hash_ops = 0
 
     # -- charging ---------------------------------------------------------
 
@@ -132,6 +140,13 @@ class RecoveryMeter:
         self.aes_ops += n
         self._crypto_ns += n * self.timing.aes_ns
 
+    def hash(self, n: int = 1) -> None:
+        """Charge ``n`` hash-engine occupancies (integrity-tree rebuild)."""
+        if self.frozen:
+            return
+        self.hash_ops += n
+        self._hash_ns += n * self.timing.hash_ns
+
     def charge_image_read(self, line: int) -> None:
         """:attr:`DurableImage.on_read` hook: classify and charge a read."""
         self.nvm_read(line, counter=line >= self.amap.n_lines)
@@ -145,7 +160,9 @@ class RecoveryMeter:
     @property
     def time_ns(self) -> float:
         """Pipelined recovery time: the busiest resource's timeline."""
-        return max(max(self._bank_free), self._bus_ns, self._crypto_ns)
+        return max(
+            max(self._bank_free), self._bus_ns, self._crypto_ns, self._hash_ns
+        )
 
 
 @dataclass
@@ -173,6 +190,14 @@ class RecoveryCostReport:
     counter_region_lines: int = 0
     #: Data-region lines with a durable image at crash time.
     written_data_lines: int = 0
+    #: SuperMem+BMT only: persisted counter leaves hashed by the rebuild.
+    tree_leaves_rebuilt: int = 0
+    #: SuperMem+BMT only: distinct internal nodes (plus root) rehashed.
+    tree_nodes_rehashed: int = 0
+    #: Hash-engine occupancies charged (tree rebuild).
+    hash_ops: int = 0
+    #: 1 when the rebuilt root matched ``DurableImage.tree_root``.
+    tree_root_verified: int = 0
     #: ``(name, start_ns, end_ns)`` per recovery stage, in order.
     phases: List[Tuple[str, float, float]] = field(default_factory=list)
 
@@ -191,6 +216,10 @@ class RecoveryCostReport:
             "rsr_lines_resumed": self.rsr_lines_resumed,
             "counter_region_lines": self.counter_region_lines,
             "written_data_lines": self.written_data_lines,
+            "tree_leaves_rebuilt": self.tree_leaves_rebuilt,
+            "tree_nodes_rehashed": self.tree_nodes_rehashed,
+            "hash_ops": self.hash_ops,
+            "tree_root_verified": self.tree_root_verified,
             "phases": [list(p) for p in self.phases],
         }
 
@@ -241,6 +270,7 @@ def _finish(report: RecoveryCostReport, meter: RecoveryMeter) -> RecoveryCostRep
     report.data_line_reads = meter.data_line_reads
     report.counter_line_reads = meter.counter_line_reads
     report.aes_ops = meter.aes_ops
+    report.hash_ops = meter.hash_ops
     return report
 
 
@@ -285,6 +315,42 @@ def timed_supermem_recovery(
     t0 = meter.time_ns
     report.rsr_lines_resumed = recovered.resume_reencryption()
     report.phases.append(("rsr-resume", t0, meter.time_ns))
+    _replay_log(recovered, log_base, log_size, meter, report)
+    return recovered, _finish(report, meter)
+
+
+def timed_supermem_bmt_recovery(
+    image: DurableImage,
+    log_base: int,
+    log_size: int,
+    meter: Optional[RecoveryMeter] = None,
+):
+    """SuperMem plus an integrity-tree rebuild over the counter region.
+
+    The rebuild runs *first*: the RSR resume and the log replay both
+    mutate counter lines, and the rebuilt root must match the root
+    register as of the crash (``DurableImage.tree_root``). Cost over
+    plain SuperMem is one bank read + leaf hash per persisted counter
+    line plus one hash per distinct touched ancestor — bounded by the
+    written working set, not capacity.
+    """
+    from repro.core.recovery import RecoveredSystem
+
+    meter = meter if meter is not None else RecoveryMeter(image.config)
+    recovered = RecoveredSystem(image, meter=meter)
+    report = RecoveryCostReport(path=RECOVERY_PATH_SUPERMEM_BMT)
+    report.written_data_lines = len(image.written_data_lines(meter.amap.n_lines))
+    t0 = meter.time_ns
+    leaves, nodes, root = recovered.rebuild_integrity_tree()
+    report.tree_leaves_rebuilt = leaves
+    report.tree_nodes_rehashed = nodes
+    report.tree_root_verified = int(
+        image.tree_root is None or root == image.tree_root
+    )
+    report.phases.append(("tree-rebuild", t0, meter.time_ns))
+    t1 = meter.time_ns
+    report.rsr_lines_resumed = recovered.resume_reencryption()
+    report.phases.append(("rsr-resume", t1, meter.time_ns))
     _replay_log(recovered, log_base, log_size, meter, report)
     return recovered, _finish(report, meter)
 
@@ -346,6 +412,7 @@ def timed_osiris_recovery(
 
 _TIMED_PATHS = {
     RECOVERY_PATH_SUPERMEM: timed_supermem_recovery,
+    RECOVERY_PATH_SUPERMEM_BMT: timed_supermem_bmt_recovery,
     RECOVERY_PATH_SCA_SCAN: timed_sca_scan_recovery,
     RECOVERY_PATH_OSIRIS: timed_osiris_recovery,
 }

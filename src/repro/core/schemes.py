@@ -20,6 +20,11 @@ the whole counter cache, hence zero counter-atomicity overhead.
 ``WT_BASE`` stores counters the way prior write-back designs did
 (a dedicated counter bank), which is what makes it the bottlenecked
 baseline of Figure 13.
+
+``SUPERMEM_BMT`` extends SuperMem with *timed* integrity metadata — a
+per-line MAC plus a Bonsai Merkle counter tree updated through a
+write-back node cache with coalesced ancestor updates (Freij et al.) —
+so the figures also price what a full secure-memory stack costs.
 """
 
 from __future__ import annotations
@@ -44,6 +49,10 @@ class Scheme(enum.Enum):
     WT_CWC = "wt+cwc"
     WT_XBANK = "wt+xbank"
     SUPERMEM = "supermem"
+    #: SuperMem plus timed integrity metadata: per-line MACs and a Bonsai
+    #: Merkle counter tree with a node cache and coalesced ancestor
+    #: updates (Freij et al., *Streamlining Integrity Tree Updates*).
+    SUPERMEM_BMT = "supermem+bmt"
     #: Liu et al.'s selective counter-atomicity (Section 6 competitor).
     SCA = "sca"
     #: Ye et al.'s Osiris: relaxed counter persistence + ECC recovery.
@@ -59,12 +68,15 @@ class Scheme(enum.Enum):
             Scheme.WT_CWC: "WT+CWC",
             Scheme.WT_XBANK: "WT+XBank",
             Scheme.SUPERMEM: "SuperMem",
+            Scheme.SUPERMEM_BMT: "SuperMem+BMT",
             Scheme.SCA: "SCA",
             Scheme.OSIRIS: "Osiris",
         }[self]
 
 
-#: The schemes plotted in Figures 13-15, in the paper's legend order.
+#: The schemes plotted in Figures 13-15, in the paper's legend order
+#: (index 0 *must* stay ``UNSEC``: every figure normalises to it), plus
+#: the integrity-priced SuperMem+BMT row appended by this reproduction.
 EVALUATED_SCHEMES = (
     Scheme.UNSEC,
     Scheme.WB_IDEAL,
@@ -72,14 +84,16 @@ EVALUATED_SCHEMES = (
     Scheme.WT_CWC,
     Scheme.WT_XBANK,
     Scheme.SUPERMEM,
+    Scheme.SUPERMEM_BMT,
 )
 
 #: The schemes compared by the Section 6 recovery-cost experiment
 #: (``fig-recovery``): one representative per recovery path.
-RECOVERY_SCHEMES = (Scheme.SUPERMEM, Scheme.SCA, Scheme.OSIRIS)
+RECOVERY_SCHEMES = (Scheme.SUPERMEM, Scheme.SUPERMEM_BMT, Scheme.SCA, Scheme.OSIRIS)
 
 #: Recovery-path names (see :mod:`repro.core.recovery_cost`).
 RECOVERY_PATH_SUPERMEM = "supermem"
+RECOVERY_PATH_SUPERMEM_BMT = "supermem-bmt"
 RECOVERY_PATH_SCA_SCAN = "sca-scan"
 RECOVERY_PATH_OSIRIS = "osiris"
 
@@ -97,7 +111,12 @@ def recovery_path(scheme: Scheme) -> str:
     * Osiris re-derives each written line's counter by bounded trial
       decryption — :data:`RECOVERY_PATH_OSIRIS`, replay window x written
       lines.
+    * SuperMem+BMT pays the SuperMem path *plus* an integrity-tree
+      rebuild over the written counter lines —
+      :data:`RECOVERY_PATH_SUPERMEM_BMT`.
     """
+    if scheme is Scheme.SUPERMEM_BMT:
+        return RECOVERY_PATH_SUPERMEM_BMT
     if scheme is Scheme.SCA:
         return RECOVERY_PATH_SCA_SCAN
     if scheme is Scheme.OSIRIS:
@@ -172,12 +191,14 @@ def scheme_config(scheme: Scheme, base: SimConfig | None = None) -> SimConfig:
         Scheme.WT_CWC: CounterPlacementPolicy.SINGLE_BANK,
         Scheme.WT_XBANK: CounterPlacementPolicy.XBANK,
         Scheme.SUPERMEM: CounterPlacementPolicy.XBANK,
+        Scheme.SUPERMEM_BMT: CounterPlacementPolicy.XBANK,
     }[scheme]
-    cwc = scheme in (Scheme.WT_CWC, Scheme.SUPERMEM)
+    cwc = scheme in (Scheme.WT_CWC, Scheme.SUPERMEM, Scheme.SUPERMEM_BMT)
     return dataclasses.replace(
         base,
         encrypted=True,
         counter_cache=counter_cache,
         counter_placement=placement,
         cwc_enabled=cwc,
+        integrity_tree=scheme is Scheme.SUPERMEM_BMT,
     )

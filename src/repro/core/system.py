@@ -40,8 +40,11 @@ from repro.common.config import SimConfig
 from repro.common.errors import SimulationError
 from repro.common.stats import Stats
 from repro.cache.counter_cache import CounterCache
+from repro.cache.tree_cache import TreeNodeCache
 from repro.crypto.counters import CounterBlock, MonolithicCounterBlock
+from repro.crypto.integrity import MerkleCounterTree
 from repro.crypto.otp import LineCipher
+from repro.crypto.tree_timed import TreeGeometry
 from repro.core.crash import CrashController, DurableImage
 from repro.core.reencrypt import RSRRecord
 from repro.memory.controller import MemoryController
@@ -205,6 +208,35 @@ class SecureMemorySystem:
         self._k_data_reads = ("secmem", "data_reads")
         self._k_cc_read_accesses = ("cc", "read_accesses")
         self._k_cc_read_hits = ("cc", "read_hits")
+        # Integrity layer (the SuperMem+BMT scheme): a timed Bonsai
+        # Merkle counter tree updated through a write-back node cache
+        # with coalesced ancestor updates, plus per-line MAC latency.
+        self._integrity_tree = config.integrity_tree
+        self._hash_ns = config.timing.hash_ns
+        self._n_banks = config.memory.n_banks
+        self.tree_cache: Optional[TreeNodeCache] = None
+        self._tree_geom: Optional[TreeGeometry] = None
+        #: Functional shadow of the on-chip tree state: tracks the root
+        #: the hardware would hold after every persisted counter write.
+        #: Timing-fidelity runs skip it (no payload bytes to hash) while
+        #: charging identical latencies.
+        self._it_shadow: Optional[MerkleCounterTree] = None
+        if config.integrity_tree:
+            if not config.encrypted:
+                raise SimulationError("integrity_tree requires encryption")
+            if not self._cc_write_through:
+                raise SimulationError(
+                    "integrity_tree requires write-through counters "
+                    "(the tree authenticates the persisted counter region)"
+                )
+            self.tree_cache = TreeNodeCache(config.tree_cache, self.stats)
+            self._tree_geom = TreeGeometry(self.amap.n_pages, amap=self.amap)
+            if config.functional:
+                self._it_shadow = MerkleCounterTree(self.amap.n_pages)
+        self._k_mac_writes = ("it", "mac_writes")
+        self._k_mac_verifies = ("it", "mac_verifies")
+        self._k_node_fetches = ("it", "node_fetches")
+        self._k_path_verifies = ("it", "path_verifies")
         #: In-flight page re-encryption (None when idle).
         self.rsr: Optional[RSRRecord] = None
         #: Osiris stop-loss bookkeeping: updates per counter block since
@@ -264,6 +296,132 @@ class SecureMemorySystem:
         if self.tracer.enabled:
             self.tracer.cc_fetch(t, placement.line)
         return result.finish_time
+
+    # ------------------------------------------------------------------
+    # Integrity tree (SuperMem+BMT): timed coalesced update/verify walks
+    # ------------------------------------------------------------------
+    #
+    # The write path climbs leaf→root through the node cache and stops
+    # at the first *dirty* cached ancestor — its pending rehash will
+    # fold this update in (Freij et al.'s update coalescing). The read
+    # path verifies an NVM-fetched counter block upward until a cached
+    # (hence already-verified) node or the root register is reached.
+    # Both walks are payload-free: timing and full fidelity execute the
+    # identical float/stat sequence, and the _fast twins below differ
+    # only in the controller entry points (read_fast/append_write_fast),
+    # keeping batched replay bit-identical to the scalar path.
+
+    def _tree_update(self, t: float, block_key: int, core: int) -> float:
+        """Coalesced leaf→root update walk; returns its completion time."""
+        cache = self.tree_cache
+        geom = self._tree_geom
+        vals = self._vals
+        t_it = t + self._hash_ns  # rehash the leaf (counter block)
+        for node in geom.ancestors(block_key):
+            if cache.is_dirty(node):
+                cache.note_coalesced()
+                return t_it
+            hit, writeback, fetch = cache.access(node, update=True)
+            if fetch:
+                line, bank, row = geom.placement(node, self._n_banks)
+                result = self.controller.read(t_it, line, bank=bank, row=row)
+                if result.finish_time > t_it:
+                    t_it = result.finish_time
+                vals[self._k_node_fetches] += 1
+            if writeback is not None:
+                wline, wbank, wrow = geom.placement(writeback, self._n_banks)
+                self.controller.append_write(
+                    t_it,
+                    wline,
+                    bank=wbank,
+                    row=wrow,
+                    is_counter=True,
+                    payload=None,
+                    core=core,
+                )
+            t_it += self._hash_ns  # rehash this ancestor
+        return t_it + self._hash_ns  # root register rehash
+
+    def _tree_update_fast(self, t: float, block_key: int, core: int) -> float:
+        """:meth:`_tree_update` on the fast controller chain."""
+        cache = self.tree_cache
+        geom = self._tree_geom
+        vals = self._vals
+        controller = self.controller
+        t_it = t + self._hash_ns
+        for node in geom.ancestors(block_key):
+            if cache.is_dirty(node):
+                cache.note_coalesced()
+                return t_it
+            hit, writeback, fetch = cache.access(node, update=True)
+            if fetch:
+                line, bank, row = geom.placement(node, self._n_banks)
+                finish = controller.read_fast(t_it, line, bank=bank, row=row)
+                if finish > t_it:
+                    t_it = finish
+                vals[self._k_node_fetches] += 1
+            if writeback is not None:
+                wline, wbank, wrow = geom.placement(writeback, self._n_banks)
+                controller.append_write_fast(
+                    t_it, wline, wbank, wrow, True, None, core
+                )
+            t_it += self._hash_ns
+        return t_it + self._hash_ns
+
+    def _tree_verify(self, t: float, block_key: int, core: int) -> float:
+        """Verify an NVM-fetched counter block against the tree."""
+        cache = self.tree_cache
+        geom = self._tree_geom
+        vals = self._vals
+        vals[self._k_path_verifies] += 1
+        t += self._hash_ns  # hash the fetched counter block
+        for node in geom.ancestors(block_key):
+            hit, writeback, fetch = cache.access(node, update=False)
+            if hit:
+                return t  # cached nodes are already verified — trusted stop
+            line, bank, row = geom.placement(node, self._n_banks)
+            result = self.controller.read(t, line, bank=bank, row=row)
+            if result.finish_time > t:
+                t = result.finish_time
+            vals[self._k_node_fetches] += 1
+            if writeback is not None:
+                wline, wbank, wrow = geom.placement(writeback, self._n_banks)
+                self.controller.append_write(
+                    t,
+                    wline,
+                    bank=wbank,
+                    row=wrow,
+                    is_counter=True,
+                    payload=None,
+                    core=core,
+                )
+            t += self._hash_ns  # verify hash at this level
+        return t  # reached the root register; the compare is free
+
+    def _tree_verify_fast(self, t: float, block_key: int, core: int) -> float:
+        """:meth:`_tree_verify` on the fast controller chain."""
+        cache = self.tree_cache
+        geom = self._tree_geom
+        vals = self._vals
+        controller = self.controller
+        vals[self._k_path_verifies] += 1
+        t += self._hash_ns
+        for node in geom.ancestors(block_key):
+            hit, writeback, fetch = cache.access(node, update=False)
+            if hit:
+                return t
+            line, bank, row = geom.placement(node, self._n_banks)
+            finish = controller.read_fast(t, line, bank=bank, row=row)
+            if finish > t:
+                t = finish
+            vals[self._k_node_fetches] += 1
+            if writeback is not None:
+                wline, wbank, wrow = geom.placement(writeback, self._n_banks)
+                controller.append_write_fast(
+                    t, wline, wbank, wrow, True, None, core
+                )
+            t += self._hash_ns
+        return t
 
     # ------------------------------------------------------------------
     # Persist path (clwb write-backs and dirty LLC evictions)
@@ -338,14 +496,28 @@ class SecureMemorySystem:
 
         # 4. persist.
         if self._cc_write_through:
+            if self._integrity_tree:
+                # Tree walk starts once the counter is resolved; the line
+                # MAC (over the ciphertext) follows the AES pipeline. The
+                # pair becomes durable only when both are done — strictly
+                # additive over plain SuperMem.
+                t_it = self._tree_update(t, block_key, core)
+                t_ready = t_enc + self._hash_ns
+                if t_it > t_ready:
+                    t_ready = t_it
+                self._vals[self._k_mac_writes] += 1
+            else:
+                t_ready = t_enc
             counter_entry = self._counter_entry(
                 line, block_key, payload_wanted=self._functional
             )
+            if self._it_shadow is not None and counter_entry.payload is not None:
+                self._it_shadow.update_leaf(block_key, counter_entry.payload)
             data_entry = self._data_entry(line, ciphertext)
             if self._atomicity_register:
                 # Figure 7: both staged, both appended as one unit.
                 durable = self.controller.append_pair(
-                    t_enc, data_entry, counter_entry
+                    t_ready, data_entry, counter_entry
                 )
                 self.crash_ctl.probe("after-pair-append")
             else:
@@ -365,7 +537,7 @@ class SecureMemorySystem:
                     detail=f"counter of line {line:#x} durable, data not",
                 )
                 durable = self.controller.append_write(
-                    t_enc,
+                    t_ready,
                     data_entry.line,
                     payload=data_entry.payload,
                     core=core,
@@ -465,12 +637,22 @@ class SecureMemorySystem:
         t_enc = t + self._aes_ns
 
         if self._cc_write_through:
+            if self._integrity_tree:
+                t_it = self._tree_update_fast(t, block_key, core)
+                t_ready = t_enc + self._hash_ns
+                if t_it > t_ready:
+                    t_ready = t_it
+                self._vals[self._k_mac_writes] += 1
+            else:
+                t_ready = t_enc
             counter_entry = self._counter_entry(
                 line, block_key, payload_wanted=self._functional
             )
+            if self._it_shadow is not None and counter_entry.payload is not None:
+                self._it_shadow.update_leaf(block_key, counter_entry.payload)
             if self._atomicity_register:
                 durable = controller.append_pair_fast(
-                    t_enc, self._data_entry(line, ciphertext), counter_entry
+                    t_ready, self._data_entry(line, ciphertext), counter_entry
                 )
             else:
                 controller.append_write_fast(
@@ -483,7 +665,7 @@ class SecureMemorySystem:
                     core,
                 )
                 durable = controller.append_write_fast(
-                    t_enc,
+                    t_ready,
                     line,
                     amap.bank_of_line(line),
                     amap.row_of_line(line),
@@ -542,6 +724,8 @@ class SecureMemorySystem:
             vals[self._k_cc_read_hits] += 1
         if fetch:
             ctr_ready = self._fetch_counter_line_fast(t, line, block_key)
+            if self._integrity_tree:
+                ctr_ready = self._tree_verify_fast(ctr_ready, block_key, core)
         else:
             ctr_ready = t
         if writeback_page is not None:
@@ -555,7 +739,11 @@ class SecureMemorySystem:
             )
 
         pad_ready = ctr_ready + self._aes_ns
-        return data_finish if data_finish > pad_ready else pad_ready
+        finish = data_finish if data_finish > pad_ready else pad_ready
+        if self._integrity_tree:
+            finish += self._hash_ns
+            vals[self._k_mac_verifies] += 1
+        return finish
 
     def _fetch_counter_line_fast(self, t: float, line: int, block_key: int) -> float:
         """:meth:`_fetch_counter_line` minus the tracer emission."""
@@ -625,6 +813,10 @@ class SecureMemorySystem:
             # Counter fetch runs in parallel with the data read, but the
             # OTP can only be generated once the counter arrives.
             ctr_ready = self._fetch_counter_line(t, line, block_key)
+            if self._integrity_tree:
+                # A counter from NVM is untrusted until its tree path
+                # reaches a cached (trusted) ancestor or the root.
+                ctr_ready = self._tree_verify(ctr_ready, block_key, core)
         else:
             ctr_ready = t
         if writeback_page is not None:
@@ -647,6 +839,10 @@ class SecureMemorySystem:
         if self.tracer.enabled:
             self.tracer.crypto(ctr_ready, self._aes_ns, "otp_read", line)
         finish = max(data_result.finish_time, pad_ready)
+        if self._integrity_tree:
+            # Line-MAC check over the fetched ciphertext.
+            finish += self._hash_ns
+            vals[self._k_mac_verifies] += 1
 
         payload = None
         if self._functional:
@@ -712,12 +908,24 @@ class SecureMemorySystem:
             t_enc = t + self.config.timing.aes_ns
             if self.tracer.enabled:
                 self.tracer.crypto(t, self.config.timing.aes_ns, "otp_write", line)
+            if self._integrity_tree:
+                # Counter mutated — the tree path must absorb it (the
+                # first line dirties the ancestors; the rest coalesce).
+                t_it = self._tree_update(t, page, core=0)
+                t_ready = t_enc + self._hash_ns
+                if t_it > t_ready:
+                    t_ready = t_it
+                self._vals[self._k_mac_writes] += 1
+            else:
+                t_ready = t_enc
             counter_entry = self._counter_entry(
                 line, page, payload_wanted=self.config.functional
             )
+            if self._it_shadow is not None and counter_entry.payload is not None:
+                self._it_shadow.update_leaf(page, counter_entry.payload)
             data_entry = self._data_entry(line, ciphertext)
             if self.counter_cache.write_through:
-                t = self.controller.append_pair(t_enc, data_entry, counter_entry)
+                t = self.controller.append_pair(t_ready, data_entry, counter_entry)
             else:
                 t = self.controller.append_write(
                     t_enc, line, payload=ciphertext
@@ -760,9 +968,14 @@ class SecureMemorySystem:
             )
             self.controller.nvm.write_line(entry.line, entry.payload)
         self.stats.inc("secmem", "crash_lost_counter_lines", len(lost_pages))
-        # 2. The ADR battery drains the write queue.
+        # 2. Dirty tree nodes die with the SRAM (no battery): safe, the
+        #    tree is rebuilt from the persisted counter region.
+        if self.tree_cache is not None:
+            lost_nodes = self.tree_cache.crash()
+            self.stats.inc("secmem", "crash_lost_tree_nodes", len(lost_nodes))
+        # 3. The ADR battery drains the write queue.
         self.controller.adr_flush()
-        # 3. Snapshot.
+        # 4. Snapshot.
         image = DurableImage(
             nvm=self.controller.nvm.snapshot(),
             rsr=(
@@ -772,6 +985,9 @@ class SecureMemorySystem:
             ),
             config=self.config,
             macs=self.controller.nvm.snapshot_macs(),
+            tree_root=(
+                self._it_shadow.root if self._it_shadow is not None else None
+            ),
         )
         self._dead = True
         return image
@@ -793,12 +1009,28 @@ class SecureMemorySystem:
                 is_counter=True,
                 payload=entry.payload,
             )
+        if self.tree_cache is not None and self._tree_geom is not None:
+            for node in self.tree_cache.drain_dirty():
+                wline, wbank, wrow = self._tree_geom.placement(
+                    node, self._n_banks
+                )
+                self.controller.append_write(
+                    self.controller.clock,
+                    wline,
+                    bank=wbank,
+                    row=wrow,
+                    is_counter=True,
+                    payload=None,
+                )
         self.controller.drain_all()
         image = DurableImage(
             nvm=self.controller.nvm.snapshot(),
             rsr=None,
             config=self.config,
             macs=self.controller.nvm.snapshot_macs(),
+            tree_root=(
+                self._it_shadow.root if self._it_shadow is not None else None
+            ),
         )
         self._dead = True
         return image

@@ -158,6 +158,32 @@ def _timed_recovery_sweep(scale: str, jobs: int, runs: List[Dict[str, object]]) 
     return wall
 
 
+def _timed_channels_sweep(scale: str, jobs: int, runs: List[Dict[str, object]]) -> float:
+    """Time the fig-channels sweep and append its record to ``runs``.
+
+    Like the fig-recovery leg, not part of the speedup ratios — recorded
+    so the perf trajectory covers the channel-sensitivity sweep (and with
+    it the SuperMem+BMT integrity-tree write path) too.
+    """
+    from repro.experiments import fig_channels, runner
+
+    started = time.perf_counter()
+    points = fig_channels.run(scale, jobs=jobs)
+    wall = time.perf_counter() - started
+    report = runner.last_report()
+    runs.append(
+        {
+            "name": "fig-channels",
+            "scale": scale,
+            "jobs": jobs,
+            "wall_s": round(wall, 3),
+            "points": len(points),
+            "runner": report.to_dict() if report is not None else None,
+        }
+    )
+    return wall
+
+
 def run_sweep_benchmark(
     scale: str = "smoke",
     jobs: int = 4,
@@ -245,6 +271,7 @@ def run_sweep_benchmark(
         parallel = record("parallel", jobs, True, journal=journal)
         resume = record("resume", jobs, True, journal=journal)
         _timed_recovery_sweep(scale, jobs, runs)
+        _timed_channels_sweep(scale, jobs, runs)
 
     payload: Dict[str, object] = {
         "benchmark": "fig13-sweep",

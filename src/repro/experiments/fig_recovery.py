@@ -61,6 +61,9 @@ class FigRecoveryPoint:
     rsr_lines_resumed: int
     counter_region_lines: int
     written_data_lines: int
+    tree_leaves_rebuilt: int
+    hash_ops: int
+    tree_root_verified: int
 
 
 #: One sweep cell: (capacity, scheme, log_lines, rsr, dirty_frac).
@@ -137,6 +140,9 @@ def _point(cell: _Cell, result: SimResult) -> FigRecoveryPoint:
         rsr_lines_resumed=rec("rsr_lines_resumed"),
         counter_region_lines=rec("counter_region_lines"),
         written_data_lines=rec("written_data_lines"),
+        tree_leaves_rebuilt=rec("tree_leaves_rebuilt"),
+        hash_ops=rec("hash_ops"),
+        tree_root_verified=rec("tree_root_verified"),
     )
 
 
@@ -201,6 +207,15 @@ def validate(points: List[FigRecoveryPoint]) -> None:
         )
     for osiris in by_scheme[Scheme.OSIRIS]:
         assert osiris.trial_decryptions >= osiris.written_data_lines - osiris.log_lines_scanned
+    for bmt in by_scheme[Scheme.SUPERMEM_BMT]:
+        # The tree rebuild must actually run and be priced: leaves hashed,
+        # hash engine charged, and the rebuilt root must match the root
+        # register captured at crash time.
+        assert bmt.tree_leaves_rebuilt > 0, "BMT recovery rebuilt no leaves"
+        assert bmt.hash_ops > 0, "BMT recovery charged no hash work"
+        assert bmt.tree_root_verified == 1, (
+            "rebuilt integrity-tree root does not match the crash-time root"
+        )
     for capacity_mb in {p.capacity_mb for p in headline}:
         at = {p.scheme: p for p in headline if p.capacity_mb == capacity_mb}
         assert at[Scheme.SUPERMEM].recovery_ns <= at[Scheme.SCA].recovery_ns, (
@@ -209,6 +224,10 @@ def validate(points: List[FigRecoveryPoint]) -> None:
         assert at[Scheme.SUPERMEM].recovery_ns <= at[Scheme.OSIRIS].recovery_ns, (
             f"Osiris must not beat SuperMem at {capacity_mb}MB"
         )
+        assert (
+            at[Scheme.SUPERMEM_BMT].recovery_ns
+            >= at[Scheme.SUPERMEM].recovery_ns
+        ), f"tree rebuild cannot make recovery cheaper at {capacity_mb}MB"
 
 
 def render(points: List[FigRecoveryPoint]) -> str:
@@ -222,7 +241,11 @@ def render(points: List[FigRecoveryPoint]) -> str:
         rows_a.append(
             [f"{capacity_mb} MB"]
             + [at[s].recovery_ns for s in RECOVERY_SCHEMES]
-            + [at[Scheme.SCA].counter_region_lines, at[Scheme.OSIRIS].trial_decryptions]
+            + [
+                at[Scheme.SCA].counter_region_lines,
+                at[Scheme.OSIRIS].trial_decryptions,
+                at[Scheme.SUPERMEM_BMT].tree_leaves_rebuilt,
+            ]
         )
     knobs = [p for p in points if p not in headline]
     rows_b = [
@@ -244,7 +267,7 @@ def render(points: List[FigRecoveryPoint]) -> str:
                 "Recovery cost vs memory capacity (Section 6 ordering)",
                 ["capacity"]
                 + [s.label + " ns" for s in RECOVERY_SCHEMES]
-                + ["SCA scan lines", "Osiris trials"],
+                + ["SCA scan lines", "Osiris trials", "BMT leaves"],
                 rows_a,
                 note=(
                     "Paper shape: SuperMem flat in capacity (log tail + RSR only); "

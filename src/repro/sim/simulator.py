@@ -194,7 +194,7 @@ class Simulator:
         # counters; snapshot-and-subtract would complicate every stat,
         # so instead reset the counters that experiments read (the
         # cache *contents* stay warm — only the statistics reset).
-        for namespace in ("wq", "secmem", "nvm", "mc", "cc"):
+        for namespace in ("wq", "secmem", "nvm", "mc", "cc", "it"):
             for counter, _ in list(self.stats.namespace(namespace).items()):
                 self.stats.set(namespace, counter, 0)
 

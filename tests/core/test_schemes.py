@@ -11,10 +11,11 @@ from repro.common.config import (
 from repro.core.schemes import EVALUATED_SCHEMES, Scheme, scheme_config
 
 
-def test_all_six_schemes_present():
-    assert len(EVALUATED_SCHEMES) == 6
+def test_all_evaluated_schemes_present():
+    assert len(EVALUATED_SCHEMES) == 7
     assert EVALUATED_SCHEMES[0] is Scheme.UNSEC
-    assert EVALUATED_SCHEMES[-1] is Scheme.SUPERMEM
+    assert EVALUATED_SCHEMES[-1] is Scheme.SUPERMEM_BMT
+    assert EVALUATED_SCHEMES[-2] is Scheme.SUPERMEM
 
 
 def test_labels_match_paper():
@@ -24,6 +25,7 @@ def test_labels_match_paper():
     assert Scheme.WT_CWC.label == "WT+CWC"
     assert Scheme.WT_XBANK.label == "WT+XBank"
     assert Scheme.SUPERMEM.label == "SuperMem"
+    assert Scheme.SUPERMEM_BMT.label == "SuperMem+BMT"
 
 
 def test_unsec_disables_encryption():
@@ -63,6 +65,18 @@ def test_wt_xbank_adds_placement_only():
 
 def test_supermem_combines_both():
     cfg = scheme_config(Scheme.SUPERMEM)
+    assert cfg.cwc_enabled is True
+    assert cfg.counter_placement is CounterPlacementPolicy.XBANK
+    assert cfg.counter_cache.mode is CounterCacheMode.WRITE_THROUGH
+
+
+def test_supermem_bmt_is_supermem_plus_tree():
+    cfg = scheme_config(Scheme.SUPERMEM_BMT)
+    base = scheme_config(Scheme.SUPERMEM)
+    assert cfg.integrity_tree is True
+    assert base.integrity_tree is False
+    # Everything else matches plain SuperMem: the scheme is strictly
+    # additive.
     assert cfg.cwc_enabled is True
     assert cfg.counter_placement is CounterPlacementPolicy.XBANK
     assert cfg.counter_cache.mode is CounterCacheMode.WRITE_THROUGH

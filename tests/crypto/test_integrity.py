@@ -98,6 +98,95 @@ class TestMerkleCounterTree:
             image, tree.audit_path(index), tree.root
         )
 
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 30),
+                st.binary(min_size=1, max_size=64),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_property_roundtrip_any_leaf_count(self, n_leaves, writes):
+        """update_leaf/audit_path/verify_path round-trip for arbitrary —
+        including non-power-of-two — leaf counts: after a random write
+        sequence every leaf's *final* image verifies, and no forged image
+        does."""
+        tree = MerkleCounterTree(n_leaves)
+        final = {}
+        for raw_index, image in writes:
+            index = raw_index % tree.n_leaves
+            tree.update_leaf(index, image)
+            final[index] = image
+        for index, image in final.items():
+            path = tree.audit_path(index)
+            assert len(path) == tree.depth
+            assert MerkleCounterTree.verify_path(image, path, tree.root)
+            forged = bytes([image[0] ^ 0x5A]) + image[1:]
+            assert not MerkleCounterTree.verify_path(forged, path, tree.root)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=100), st.integers())
+    def test_property_out_of_range_index_contract(self, n_leaves, index):
+        """Every index outside ``0..n_leaves-1`` (after power-of-two
+        rounding) is a ConfigError from both update and audit; every
+        index inside is accepted."""
+        tree = MerkleCounterTree(n_leaves)
+        if 0 <= index < tree.n_leaves:
+            tree.update_leaf(index, b"ok")
+            assert tree.audit_path(index) is not None
+        else:
+            with pytest.raises(ConfigError):
+                tree.update_leaf(index, b"x")
+            with pytest.raises(ConfigError):
+                tree.audit_path(index)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 30),
+                st.binary(min_size=1, max_size=64),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_property_untouched_sibling_subtree_is_stable(
+        self, depth_pow, writes
+    ):
+        """Updates confined to the left half never move the right
+        sibling subtree: re-auditing any untouched right-half leaf is
+        read-only (root unchanged) and its path hashes are identical
+        before and after the left-half write storm."""
+        n_leaves = 1 << depth_pow
+        half = n_leaves // 2
+        tree = MerkleCounterTree(n_leaves)
+        right_paths_before = {
+            leaf: tree.audit_path(leaf)[:-1]  # drop the shared top sibling
+            for leaf in range(half, n_leaves)
+        }
+        for raw_index, image in writes:
+            tree.update_leaf(raw_index % half, image)  # left half only
+        root_after = tree.root
+        for leaf in range(half, n_leaves):
+            path = tree.audit_path(leaf)
+            # Audits are pure reads: the root never moves.
+            assert tree.root == root_after
+            # Within the untouched right subtree every sibling hash is
+            # exactly what it was before the writes; only the topmost
+            # sibling (the left subtree's summary) may have changed.
+            assert path[:-1] == right_paths_before[leaf]
+            # And the never-written leaf still verifies as the
+            # empty-block marker under the *new* root.
+            assert MerkleCounterTree.verify_path(
+                b"empty-counter-block", path, tree.root
+            )
+
 
 class TestIntegrityEngine:
     def test_honest_read_verifies(self):

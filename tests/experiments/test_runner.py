@@ -33,7 +33,7 @@ from repro.experiments.runner import (
 #:       _digest; from repro.experiments import fig13; \
 #:       print(_digest(fig13.run('smoke', request_sizes=(1024,))))"
 FIG13_SMOKE_1KB_DIGEST = (
-    "dcf3222ca119870bd05bd8b09eb9fc6262b0b65aff376f6dc069607b50ca1dc4"
+    "a1357d6a717e15c834850fc4d8c4c30274591685e17ca46126092c81c354245f"
 )
 
 

@@ -39,8 +39,10 @@ from repro.core.recovery import RecoveredSystem
 from repro.core.recovery_cost import (
     timed_osiris_recovery,
     timed_sca_scan_recovery,
+    timed_supermem_bmt_recovery,
     timed_supermem_recovery,
 )
+from repro.crypto.integrity import MerkleCounterTree
 from repro.core.schemes import Scheme, scheme_config
 from repro.core.system import SecureMemorySystem
 from repro.txn.log import LogRegion
@@ -49,7 +51,7 @@ from repro.txn.transaction import TransactionManager
 from repro.workloads.mixed import ZipfSampler
 
 MASTER_SEED = 0xC0FFEE
-CASES_PER_PROBE = 13  # 8 probes x 13 = 104 tuples >= 100
+CASES_PER_PROBE = 16  # 8 probes x 16 = 128 tuples >= 100
 MAX_OCCURRENCE = 12
 
 LOG_LINES = 128
@@ -69,6 +71,7 @@ SCENARIOS = {
         (Scheme.WT_CWC, {}, "undo"),
         (Scheme.WT_XBANK, {}, "redo"),
         (Scheme.SCA, {}, "undo"),
+        (Scheme.SUPERMEM_BMT, {}, "undo"),
     ],
     "after-data-append": [
         (Scheme.UNSEC, {}, "undo"),
@@ -79,29 +82,35 @@ SCENARIOS = {
     "wt-no-register-gap": [
         (Scheme.WT_BASE, {"atomicity_register": False}, "undo"),
         (Scheme.SUPERMEM, {"atomicity_register": False}, "undo"),
+        (Scheme.SUPERMEM_BMT, {"atomicity_register": False}, "undo"),
     ],
     "reencrypt-line-done": [
         (Scheme.SUPERMEM, {}, "undo"),
         (Scheme.WT_BASE, {}, "undo"),
+        (Scheme.SUPERMEM_BMT, {}, "undo"),
     ],
     "txn-after-prepare": [
         (Scheme.SUPERMEM, {}, "undo"),
         (Scheme.WT_XBANK, {}, "redo"),
         (Scheme.WB_IDEAL, {}, "undo"),
+        (Scheme.SUPERMEM_BMT, {}, "redo"),
     ],
     "txn-after-mutate": [
         (Scheme.SUPERMEM, {}, "undo"),
         (Scheme.WT_CWC, {}, "redo"),
         (Scheme.UNSEC, {}, "undo"),
+        (Scheme.SUPERMEM_BMT, {}, "undo"),
     ],
     "txn-after-commit": [
         (Scheme.SUPERMEM, {}, "undo"),
         (Scheme.WT_BASE, {}, "redo"),
         (Scheme.OSIRIS, {}, "undo"),
+        (Scheme.SUPERMEM_BMT, {}, "undo"),
     ],
     "txn-after-commit-record": [
         (Scheme.SUPERMEM, {}, "redo"),
         (Scheme.WT_XBANK, {}, "redo"),
+        (Scheme.SUPERMEM_BMT, {}, "redo"),
     ],
 }
 
@@ -118,6 +127,7 @@ _ALWAYS_CLEAN = {
     Scheme.WT_CWC,
     Scheme.WT_XBANK,
     Scheme.SUPERMEM,
+    Scheme.SUPERMEM_BMT,
 }
 
 
@@ -227,6 +237,7 @@ def _image_copy(image: DurableImage) -> DurableImage:
         rsr=copy.deepcopy(image.rsr),
         config=image.config,
         macs=dict(image.macs),
+        tree_root=image.tree_root,
     )
 
 
@@ -255,6 +266,45 @@ def _check_cost_consistency(scheme: Scheme, image: DurableImage) -> None:
             _, osiris = timed_osiris_recovery(_image_copy(image), 0, LOG_SIZE)
             assert osiris.time_ns >= supermem.time_ns
             assert osiris.trial_decryptions >= osiris.nvm_writes
+        if image.config.integrity_tree:
+            _, bmt = timed_supermem_bmt_recovery(_image_copy(image), 0, LOG_SIZE)
+            assert bmt.time_ns >= supermem.time_ns, (
+                "tree rebuild cannot make recovery cheaper"
+            )
+            assert bmt.tree_root_verified == 1
+            assert bmt.phases[0][0] == "tree-rebuild"
+            if bmt.tree_leaves_rebuilt:
+                assert bmt.hash_ops > 0
+
+
+def _check_tree_persistence(image: DurableImage) -> None:
+    """Crash-consistent integrity-tree invariants for BMT images.
+
+    Wherever the crash landed, rebuilding the tree from the persisted
+    counter region must reproduce the crash-time root register (the
+    functional shadow tree's root), and every dirtied counter leaf must
+    carry an audit path that verifies against that root.
+    """
+    assert image.tree_root is not None, "BMT image lost its root register"
+    recovered = RecoveredSystem(_image_copy(image))
+    leaves, nodes_rehashed, root = recovered.rebuild_integrity_tree()
+    assert root == image.tree_root, (
+        "rebuilt integrity-tree root does not match the crash-time root"
+    )
+    amap = image.config.address_map()
+    base = amap.n_lines
+    dirtied = [
+        line for line in image.nvm if base <= line < base + amap.n_pages
+    ]
+    assert len(dirtied) == leaves
+    assert nodes_rehashed >= 1
+    tree = recovered.rebuilt_tree
+    for line in dirtied:
+        page = line - base
+        path = tree.audit_path(page)
+        assert MerkleCounterTree.verify_path(image.nvm[line], path, root), (
+            f"persisted counter leaf {page} fails verify_path after rebuild"
+        )
 
 
 class TestFuzzPlan:
@@ -291,6 +341,8 @@ def test_fuzzed_crash_recovers_and_prices_consistently(probe, occurrence, seed):
             f"{scheme} crashed at {probe}#{occurrence}: "
             f"{len(corrupt)} flushed lines no longer decrypt"
         )
+    if image.config is not None and image.config.integrity_tree:
+        _check_tree_persistence(image)
     _check_cost_consistency(scheme, image)
 
 

@@ -69,7 +69,14 @@ class TestConfig:
 class TestPointEquivalence:
     @pytest.mark.parametrize(
         "scheme",
-        [Scheme.UNSEC, Scheme.WT_BASE, Scheme.SUPERMEM, Scheme.SCA, Scheme.OSIRIS],
+        [
+            Scheme.UNSEC,
+            Scheme.WT_BASE,
+            Scheme.SUPERMEM,
+            Scheme.SUPERMEM_BMT,
+            Scheme.SCA,
+            Scheme.OSIRIS,
+        ],
     )
     @pytest.mark.parametrize("workload", ["array", "btree", "queue"])
     def test_timing_matches_full(self, workload, scheme):

@@ -54,11 +54,15 @@ class TestSimulationEquivalence:
             ("btree", Scheme.SUPERMEM, 1024),
             ("queue", Scheme.UNSEC, 256),
             ("btree", Scheme.SCA, 1024),
+            # Integrity tree: the walk helpers have their own fast twins.
+            ("array", Scheme.SUPERMEM_BMT, 256),
+            ("btree", Scheme.SUPERMEM_BMT, 1024),
             # Large requests keep the write queue saturated: the per-bank
             # scan, candidate cache, and make-space loop all run hot.
             ("array", Scheme.WT_BASE, 4096),
             ("btree", Scheme.WT_BASE, 4096),
             ("array", Scheme.SUPERMEM, 4096),
+            ("queue", Scheme.SUPERMEM_BMT, 4096),
         ],
     )
     def test_hot_matches_reference(self, workload, scheme, size):

@@ -90,6 +90,24 @@ class TestRecoveryDoc:
             f"registered but never fired in source: {sorted(registered - scanned)}"
         )
 
+    def test_every_recovery_path_is_documented(self):
+        """Every ``RECOVERY_PATH_*`` constant (the `recovery_path` names
+        the CLI and the cost reports print) must appear, backticked, in
+        the RECOVERY.md path table."""
+        from repro.core import schemes
+
+        text = (DOCS / "RECOVERY.md").read_text(encoding="utf-8")
+        paths = [
+            getattr(schemes, name)
+            for name in dir(schemes)
+            if name.startswith("RECOVERY_PATH_")
+        ]
+        assert len(paths) >= 4, paths
+        missing = [path for path in paths if f"`{path}`" not in text]
+        assert not missing, (
+            f"recovery paths undocumented in docs/RECOVERY.md: {missing}"
+        )
+
 
 class TestModelDoc:
     def test_every_scheme_is_documented(self):
@@ -340,6 +358,18 @@ class TestCliDoc:
         """The observability CLI surface CI drives must stay present."""
         names = {name for name, _ in _walk_parser()}
         assert {"serve-metrics", "sweep-report"} <= names
+
+    def test_every_experiment_choice_is_documented(self, cli_text):
+        """The `run` positional's experiment names (fig13 ...
+        fig-channels, fig-recovery) must each be named in CLI.md —
+        backticked, as the positional-choices prose lists them."""
+        from repro.__main__ import EXPERIMENTS
+
+        assert "fig-channels" in EXPERIMENTS
+        missing = [name for name in EXPERIMENTS if f"`{name}`" not in cli_text]
+        assert not missing, (
+            f"experiments undocumented in docs/CLI.md: {missing}"
+        )
 
     def test_every_long_flag_is_documented(self, cli_text):
         missing = []
