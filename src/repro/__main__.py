@@ -217,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="seconds between --live status/snapshot emissions (default 2)",
     )
+    run_parser.add_argument(
+        "--outcome-store",
+        default=None,
+        metavar="DIR",
+        help="share generated traces and recorded cache-walk outcome "
+        "streams across processes through an on-disk store: a 4-job "
+        "sweep (or a second invocation) records each (trace, geometry) "
+        "once fleet-wide, with bit-identical results (inspect the store "
+        "with `repro cache`)",
+    )
 
     bench_parser = sub.add_parser(
         "bench-sweep",
@@ -238,6 +248,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default="BENCH_SWEEP.json",
         help="JSON output path (default: BENCH_SWEEP.json)",
+    )
+    bench_parser.add_argument(
+        "--outcome-store",
+        default=None,
+        metavar="DIR",
+        help="directory for the shared-record/shared-outcomes legs' "
+        "on-disk outcome store (default: a per-run temp directory)",
+    )
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect or prune an on-disk outcome store (see --outcome-store)",
+    )
+    cache_parser.add_argument(
+        "store_dir",
+        help="outcome-store directory (as passed to --outcome-store)",
+    )
+    cache_parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="evict least-recently-used entries beyond the size cap "
+        "(with --cap-mb 0: remove every entry)",
+    )
+    cache_parser.add_argument(
+        "--cap-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="size cap in MiB for --prune and the reported headroom "
+        "(default: the store's built-in 256 MiB cap)",
+    )
+    cache_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the store summary as JSON instead of text",
     )
 
     trace_parser = sub.add_parser(
@@ -522,6 +567,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="best-found config export (default: RECOMMENDED_CONFIG.json)",
     )
+    tune_parser.add_argument(
+        "--outcome-store",
+        default=None,
+        metavar="DIR",
+        help="share traces and recorded cache-walk outcomes across the "
+        "search's workers (and across tuner invocations) through an "
+        "on-disk store (see `repro run --outcome-store`)",
+    )
 
     tune_report_parser = sub.add_parser(
         "tune-report",
@@ -600,6 +653,8 @@ def main(argv=None) -> int:
         return _cmd_recovery_report(args)
     if args.command == "bench-sweep":
         return _cmd_bench_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "serve-metrics":
         from repro.obs.promserve import serve_metrics
 
@@ -627,6 +682,7 @@ def main(argv=None) -> int:
 
     jobs = _parse_jobs(args.jobs)
     _install_policy(args)
+    _install_outcome_store(args)
     reporter = _install_live_metrics(args)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     json_path = args.json if len(names) == 1 else None
@@ -676,6 +732,14 @@ def _install_policy(args) -> None:
     set_default_policy(
         RunnerPolicy(point_timeout_s=args.point_timeout, max_attempts=args.retries)
     )
+
+
+def _install_outcome_store(args) -> None:
+    """Map ``--outcome-store`` onto the experiments' default base config,
+    so every spec (and through pickling, every worker) carries the path."""
+    from repro.experiments.common import set_default_outcome_store
+
+    set_default_outcome_store(getattr(args, "outcome_store", None))
 
 
 def _install_live_metrics(args):
@@ -750,9 +814,40 @@ def _cmd_bench_sweep(args) -> int:
         f"[repro] benchmarking fig13 sweep (scale={args.scale}, jobs={jobs})...",
         file=sys.stderr,
     )
-    payload = run_sweep_benchmark(scale=args.scale, jobs=jobs, output=args.output)
+    payload = run_sweep_benchmark(
+        scale=args.scale,
+        jobs=jobs,
+        output=args.output,
+        outcome_store=args.outcome_store,
+    )
     print(format_summary(payload))
     print(f"[repro] wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import json
+
+    from repro.sim.outcome_store import OutcomeStore
+
+    cap_bytes = args.cap_mb << 20 if args.cap_mb is not None else None
+    store = OutcomeStore(args.store_dir, cap_bytes=cap_bytes)
+    pruned = store.gc() if args.prune else 0
+    stats = store.stats()
+    if args.prune:
+        stats["pruned"] = pruned
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"outcome store: {stats['root']}")
+    print(
+        f"  {stats['entries']} entries, {stats['bytes']} bytes "
+        f"(cap {stats['cap_bytes']})"
+    )
+    for kind, bucket in sorted(stats["by_kind"].items()):
+        print(f"  {kind:>9}: {bucket['entries']} entries, {bucket['bytes']} bytes")
+    if args.prune:
+        print(f"  pruned {pruned} entries")
     return 0
 
 
@@ -836,6 +931,7 @@ def _cmd_tune(args) -> int:
     budget = resolve_budget(args.budget)
     jobs = _parse_jobs(args.jobs)
     _install_policy(args)
+    _install_outcome_store(args)
     reporter = _install_live_metrics(args)
 
     surrogate_model = None

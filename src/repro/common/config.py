@@ -360,6 +360,13 @@ class SimConfig:
     #: also on (the reference model is always scalar). ``False`` is the
     #: ``hotpath`` benchmark leg, isolating the batching win.
     batched_replay: bool = True
+    #: Directory of the cross-process on-disk outcome store
+    #: (:mod:`repro.sim.outcome_store`); ``None`` disables the disk tier.
+    #: A harness knob, not a model knob: it cannot change simulated
+    #: results (store hits are bit-identical to the compute path) and is
+    #: therefore excluded from journal content digests
+    #: (:func:`repro.experiments.journal.spec_digest`).
+    outcome_store: str | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.minor_counter_bits <= 16:

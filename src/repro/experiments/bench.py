@@ -34,12 +34,29 @@ convention). Legs, in execution order:
     dropped first, so this leg honestly pays its own one-recording-in-
     six-schemes cost. CI asserts ``batched_vs_hotpath`` >= 1.3
     (``tools/check_bench_ratio.py``).
+``shared-record``
+    A *cold* fleet member against an (empty) on-disk outcome store
+    (:mod:`repro.sim.outcome_store`): process cache cleared, one
+    SuperMem point per fig13 cell — the recording owner's share of a
+    fleet sweep. Generates every trace, records every hierarchy walk,
+    and writes both to the store. The single-scheme subset isolates the
+    per-(trace, geometry) work the store deduplicates; in the full
+    seven-scheme sweep that work is only 1/7 of the points and the
+    ratio would drown in scheme-replay time both members pay alike.
+``shared-outcomes``
+    The same single-scheme subset, process cache cleared again, store
+    warm: a *second* fleet member. Zero trace generations and zero
+    outcome recordings — every trace and recording loads from the
+    store's binary entries, bit-identically. CI asserts
+    ``shared_vs_record`` >= 1.15 (``tools/check_bench_ratio.py``).
 ``parallel`` / ``resume``
     Process fan-out over the production configuration, then a pure
     journal-resume pass (nothing simulated).
 
-Every leg simulates the exact same results — the golden-digest
-guarantee — so the legs differ only in wall clock. Each record follows
+Every full-sweep leg simulates the exact same results — the
+golden-digest guarantee — so those legs differ only in wall clock; the
+two ``shared-*`` legs run the same single-scheme subset of that grid
+(cold store vs warm store, results bit-identical to each other). Each record follows
 the schema ``{name, scale, jobs, wall_s, points, runner}`` where
 ``runner`` is the :meth:`~repro.experiments.runner.RunnerReport.to_dict`
 accounting of that leg; the ``speedup`` block reports the headline
@@ -132,6 +149,47 @@ def _scalar_config(scale: str):
     )
 
 
+def _store_config(scale: str, store_dir: str):
+    """The production config with the on-disk outcome store configured
+    (the ``shared-record``/``shared-outcomes`` legs)."""
+    from repro.experiments.common import experiment_base_config, get_scale
+
+    return dataclasses.replace(
+        experiment_base_config(get_scale(scale)), outcome_store=store_dir
+    )
+
+
+def _timed_store_leg(
+    name: str,
+    scale: str,
+    request_sizes: Sequence[int],
+    store_cfg,
+) -> Tuple[float, int, Optional[Dict[str, object]]]:
+    """One outcome-store leg: the SuperMem point of every fig13 cell.
+
+    Clears the process trace cache first, so the leg pays (cold store)
+    or loads (warm store) every trace and recording — exactly the work
+    a fresh fleet member does for the cells it records on behalf of the
+    fleet. ``store_cfg`` carries ``outcome_store``; the store's state
+    (empty vs populated) is what distinguishes the two legs.
+    """
+    from repro.core.schemes import Scheme
+    from repro.experiments import fig13, runner
+    from repro.sim import trace_cache
+
+    trace_cache.configure(True)
+    trace_cache.clear()
+    _, point_specs = fig13.specs(
+        scale, request_sizes=tuple(request_sizes), base_config=store_cfg
+    )
+    subset = [spec for spec in point_specs if spec.scheme is Scheme.SUPERMEM]
+    started = time.perf_counter()
+    results = runner.run_points(subset, jobs=1, label=name)
+    wall = time.perf_counter() - started
+    report = runner.last_report()
+    return wall, len(results), report.to_dict() if report is not None else None
+
+
 def _timed_recovery_sweep(scale: str, jobs: int, runs: List[Dict[str, object]]) -> float:
     """Time the fig-recovery sweep and append its record to ``runs``.
 
@@ -189,6 +247,7 @@ def run_sweep_benchmark(
     jobs: int = 4,
     request_sizes: Sequence[int] = BENCH_REQUEST_SIZES,
     output: Optional[str] = "BENCH_SWEEP.json",
+    outcome_store: Optional[str] = None,
 ) -> Dict[str, object]:
     """Benchmark the fig13 sweep across the legs described in the module
     docstring: reference model (cold/cached), production full/timing
@@ -268,6 +327,41 @@ def run_sweep_benchmark(
         batched = record(
             "batched-replay", 1, True, clear_cache=False, drop_outcomes=True
         )
+        # The cross-process outcome store, on the single-scheme subset
+        # (one SuperMem point per cell — the recording owner's share of
+        # a fleet sweep): a cold member generates, records, and writes
+        # the store...
+        store_dir = outcome_store or os.path.join(tmp, "outcome-store")
+        store_cfg = _store_config(scale, store_dir)
+        shared_record, store_points, store_acct = _timed_store_leg(
+            "shared-record", scale, request_sizes, store_cfg
+        )
+        runs.append(
+            {
+                "name": "shared-record",
+                "scale": scale,
+                "jobs": 1,
+                "wall_s": round(shared_record, 3),
+                "points": store_points,
+                "runner": store_acct,
+            }
+        )
+        # ...then a warm second member: process cache cleared again, so
+        # every trace and recording must come from the store — zero
+        # generations, zero walks, bit-identical results.
+        shared_outcomes, store_points, store_acct = _timed_store_leg(
+            "shared-outcomes", scale, request_sizes, store_cfg
+        )
+        runs.append(
+            {
+                "name": "shared-outcomes",
+                "scale": scale,
+                "jobs": 1,
+                "wall_s": round(shared_outcomes, 3),
+                "points": store_points,
+                "runner": store_acct,
+            }
+        )
         parallel = record("parallel", jobs, True, journal=journal)
         resume = record("resume", jobs, True, journal=journal)
         _timed_recovery_sweep(scale, jobs, runs)
@@ -293,6 +387,12 @@ def run_sweep_benchmark(
             # scalar hot path, trace cache warm on both sides. CI
             # enforces >= 1.3 (tools/check_bench_ratio.py).
             "batched_vs_hotpath": round(hotpath / batched, 3) if batched else 0.0,
+            # A warm fleet member (store hits only) vs a cold one
+            # (generate + record + store writes). CI enforces >= 1.15
+            # (tools/check_bench_ratio.py).
+            "shared_vs_record": (
+                round(shared_record / shared_outcomes, 3) if shared_outcomes else 0.0
+            ),
             # Timing-only fidelity vs the full functional byte path on
             # the same production simulator.
             "timing_vs_full": (
@@ -341,6 +441,7 @@ def format_summary(payload: Dict[str, object]) -> str:
         f"{'speedup':>16}: trace-cache {speedup['trace_cache']}x, "
         f"hotpath {speedup['hotpath_vs_serial']}x, "
         f"batched {speedup.get('batched_vs_hotpath', 0.0)}x, "
+        f"shared-store {speedup.get('shared_vs_record', 0.0)}x, "
         f"metrics-overhead {speedup.get('metrics_overhead', 0.0)}x, "
         f"timing-vs-full {speedup['timing_vs_full']}x, "
         f"parallel {speedup['parallel_vs_serial']}x, "

@@ -121,6 +121,9 @@ METRIC_NAMES = (
     "repro_trace_array_misses_total",
     "repro_trace_outcome_hits_total",
     "repro_trace_outcome_misses_total",
+    "repro_outcome_store_hits_total",
+    "repro_outcome_store_misses_total",
+    "repro_outcome_store_bytes_total",
 )
 
 #: 1-2-5 seconds ladder (1 ms .. 500 s) for per-point wall times.
@@ -231,6 +234,23 @@ class SweepMetrics:
         self.outcome_misses = registry.counter(
             "repro_trace_outcome_misses_total",
             "Batched runs that walked (and recorded) the cache hierarchy.",
+        )
+        self.store_hits = registry.counter(
+            "repro_outcome_store_hits_total",
+            "On-disk outcome-store entries loaded, by entry kind "
+            "(serial sweeps; parent-process store counters only).",
+            labels=("kind",),  # trace / outcomes
+        )
+        self.store_misses = registry.counter(
+            "repro_outcome_store_misses_total",
+            "On-disk outcome-store lookups that fell through to the "
+            "compute path (absent, torn, or corrupt entries).",
+            labels=("kind",),  # trace / outcomes
+        )
+        self.store_bytes = registry.counter(
+            "repro_outcome_store_bytes_total",
+            "Outcome-store entry bytes moved, by direction.",
+            labels=("direction",),  # read / written
         )
 
     def event(self, kind: str, **fields: object) -> None:
@@ -369,6 +389,10 @@ class RunnerReport:
     trace_arrays: Tuple[int, int] = (0, 0)
     #: Hierarchy outcome-stream cache (hits, misses) delta, serial only.
     trace_outcomes: Tuple[int, int] = (0, 0)
+    #: On-disk outcome-store counter delta (hits/misses by entry kind,
+    #: bytes by direction; see
+    #: :func:`repro.sim.outcome_store.store_stats`), serial runs only.
+    outcome_store: Dict[str, int] = field(default_factory=dict)
     #: Failed attempts that were retried (includes timeouts).
     retries: int = 0
     #: Attempts killed by the per-point wall-clock timeout.
@@ -451,6 +475,7 @@ class RunnerReport:
             "timeouts": self.timeouts,
             "resumed": self.resumed,
             "serial_fallbacks": self.serial_fallbacks,
+            "outcome_store": dict(self.outcome_store),
             "failures": [f.to_dict() for f in self.failures],
             "failure_events": [_event_to_dict(e) for e in self.failure_events()],
             "journal": self.journal_path,
@@ -848,6 +873,7 @@ def _run_serial(
     hits0, misses0 = trace_cache.cache_stats()
     array0 = trace_cache.array_stats()
     outcome0 = trace_cache.outcome_stats()
+    store0 = trace_cache.store_stats()
     for index in indices:
         spec = specs[index]
         last_exc = ("", "")
@@ -901,11 +927,22 @@ def _run_serial(
     outcome1 = trace_cache.outcome_stats()
     report.trace_arrays = (array1[0] - array0[0], array1[1] - array0[1])
     report.trace_outcomes = (outcome1[0] - outcome0[0], outcome1[1] - outcome0[1])
+    store1 = trace_cache.store_stats()
+    report.outcome_store = {
+        key: store1[key] - store0.get(key, 0) for key in store1
+    }
     if sm.enabled:
         sm.array_hits.inc(report.trace_arrays[0])
         sm.array_misses.inc(report.trace_arrays[1])
         sm.outcome_hits.inc(report.trace_outcomes[0])
         sm.outcome_misses.inc(report.trace_outcomes[1])
+        store = report.outcome_store
+        sm.store_hits.labels("trace").inc(store.get("trace_hits", 0))
+        sm.store_hits.labels("outcomes").inc(store.get("outcome_hits", 0))
+        sm.store_misses.labels("trace").inc(store.get("trace_misses", 0))
+        sm.store_misses.labels("outcomes").inc(store.get("outcome_misses", 0))
+        sm.store_bytes.labels("read").inc(store.get("bytes_read", 0))
+        sm.store_bytes.labels("written").inc(store.get("bytes_written", 0))
 
 
 # ----------------------------------------------------------------------

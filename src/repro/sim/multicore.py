@@ -23,7 +23,7 @@ from repro.core.system import SecureMemorySystem
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import CoreEngine
 from repro.sim.metrics import SimResult
-from repro.sim.trace_cache import cached_generate_trace
+from repro.sim.trace_cache import cached_generate_trace, use_store
 from repro.txn.persist import TraceOp
 
 
@@ -120,6 +120,7 @@ def simulate_multiprogrammed(
         raise ConfigError("need at least one program")
 
     cfg = dataclasses.replace(scheme_config(scheme, base_config), fidelity=fidelity)
+    use_store(cfg.outcome_store)
     amap = cfg.address_map()
     if footprint is None:
         footprint = amap.bank_size

@@ -59,6 +59,35 @@ def test_lru_bound_evicts_oldest():
     assert misses_after == misses_before + 1
 
 
+def test_clear_detaches_derived_data_from_live_references():
+    # A caller still holding the trace must not resurrect invalidated
+    # arrays/recordings through it after clear().
+    trace = cached_generate_trace("array", n_ops=10, seed=3)
+    trace_cache.trace_arrays(trace)
+    trace_cache.store_trace_outcomes(trace, ("sig",), object())
+    assert trace.replay_arrays is not None
+    assert trace.replay_outcomes is not None
+    trace_cache.clear()
+    assert trace.replay_arrays is None
+    assert trace.warmup_replay_arrays is None
+    assert trace.replay_outcomes is None
+
+
+def test_disabled_path_is_truly_uncached():
+    # With memoization off, attached-array reuse is bypassed (fresh
+    # decode per call, nothing attached) and recordings are neither
+    # retained nor reused.
+    trace = cached_generate_trace("array", n_ops=10, seed=3)
+    trace_cache.configure(False)
+    first = trace_cache.trace_arrays(trace)
+    second = trace_cache.trace_arrays(trace)
+    assert first is not second
+    assert trace.replay_arrays is None
+    trace_cache.store_trace_outcomes(trace, ("sig",), object())
+    assert trace.replay_outcomes is None
+    assert trace_cache.trace_outcomes(trace, ("sig",)) is None
+
+
 def test_simulation_results_identical_with_and_without_cache():
     """The acceptance guarantee: memoization never changes a result."""
 

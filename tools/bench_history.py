@@ -36,6 +36,7 @@ HIGHER_IS_BETTER = (
     "trace_cache",
     "hotpath_vs_serial",
     "batched_vs_hotpath",
+    "shared_vs_record",
     "timing_vs_full",
     "parallel_vs_serial",
     "resume_vs_parallel",

@@ -19,6 +19,10 @@ Current floors:
   (flat-array chunks + recorded hierarchy-outcome reuse across a sweep's
   schemes) must stay at least 1.3x faster than the scalar hot path
   (measured ~1.45x at introduction).
+* ``shared_vs_record >= 1.15`` — a warm fleet member reading every trace
+  and recording from the on-disk outcome store (the ``shared-outcomes``
+  leg) must stay at least 1.15x faster than a cold member that
+  generates, records, and writes the store (``shared-record``).
 
 Current ceilings:
 
@@ -41,6 +45,7 @@ import sys
 FLOORS = {
     "hotpath_vs_serial": 2.0,
     "batched_vs_hotpath": 1.3,
+    "shared_vs_record": 1.15,
 }
 
 #: speedup-key -> maximum acceptable ratio (overhead caps).
